@@ -1,0 +1,256 @@
+//! The Ithemal-style baseline: a learned throughput regressor.
+//!
+//! Ithemal (Mendis et al., ICML 2019) trains an LSTM on basic blocks
+//! extracted from compiled programs — blocks full of data dependencies.
+//! The paper observes (§5.3.1) that such a model transfers poorly to
+//! PMEvo's dependency-free, port-bound experiments (60.6 % MAPE, PCC
+//! 0.35).
+//!
+//! The mechanism, not the architecture, is what matters for the
+//! reproduction: we train a least-squares linear regressor over
+//! per-(class, width) instruction counts on *dependency-heavy* blocks
+//! produced by running the simulator on kernels with a tiny register
+//! file (which forces short dependence chains, like compiler output).
+//! Evaluated on dependency-free experiments, it inherits Ithemal's bias.
+
+use pmevo_core::{Experiment, InstId, ThroughputPredictor};
+use pmevo_isa::{LoopBuilder, OpClass};
+use pmevo_machine::{simulate_kernel, Platform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Training configuration for [`IthemalLike`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IthemalConfig {
+    /// Number of training basic blocks.
+    pub training_blocks: usize,
+    /// Smallest training block size (inclusive).
+    pub min_block: u32,
+    /// Largest training block size (inclusive); sizes vary so that the
+    /// regressor sees blocks of different lengths, as Ithemal's training
+    /// corpus does.
+    pub max_block: u32,
+    /// Registers per class in the training kernels — small values force
+    /// the dependency chains that compiler-emitted code exhibits.
+    pub training_registers: usize,
+    /// Ridge regularization strength for the normal equations.
+    pub ridge: f64,
+    /// RNG seed for block sampling.
+    pub seed: u64,
+}
+
+impl Default for IthemalConfig {
+    fn default() -> Self {
+        IthemalConfig {
+            training_blocks: 400,
+            min_block: 2,
+            max_block: 10,
+            training_registers: 4,
+            ridge: 1e-3,
+            seed: 0x17EA,
+        }
+    }
+}
+
+/// A linear throughput model over per-(class, width) instruction counts,
+/// trained on dependency-heavy blocks.
+#[derive(Debug, Clone)]
+pub struct IthemalLike {
+    /// Feature index per instruction id.
+    feature_of: Vec<usize>,
+    /// Learned weights (one per feature, plus intercept last).
+    weights: Vec<f64>,
+}
+
+/// Feature index of a form: its (class, coarse width) bucket.
+fn feature_key(class: OpClass, width_bits: u32) -> usize {
+    let c = OpClass::ALL
+        .iter()
+        .position(|&x| x == class)
+        .expect("class in ALL");
+    let w = usize::from(width_bits >= 256);
+    c * 2 + w
+}
+
+const NUM_FEATURES: usize = 28; // 14 classes × 2 width buckets
+
+impl IthemalLike {
+    /// Trains the regressor on `platform`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests zero training blocks.
+    pub fn train(platform: &Platform, config: &IthemalConfig) -> Self {
+        assert!(config.training_blocks > 0, "no training data requested");
+        assert!(
+            config.min_block >= 1 && config.min_block < config.max_block,
+            "need a non-degenerate block size range"
+        );
+        let isa = platform.isa();
+        let feature_of: Vec<usize> = isa
+            .forms()
+            .iter()
+            .map(|f| feature_key(f.class, f.max_width_bits()))
+            .collect();
+
+        let dim = NUM_FEATURES + 1; // + intercept
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut xtx = vec![0.0f64; dim * dim];
+        let mut xty = vec![0.0f64; dim];
+
+        for _ in 0..config.training_blocks {
+            // A "compiled basic block": random instructions, executed on
+            // a tiny register file so dependencies dominate.
+            let block_size = rng.gen_range(config.min_block..=config.max_block);
+            let counts: Vec<(InstId, u32)> = (0..block_size)
+                .map(|_| (InstId(rng.gen_range(0..isa.len() as u32)), 1))
+                .collect();
+            let e = Experiment::from_counts(&counts);
+            let kernel = LoopBuilder::new(isa)
+                .body_len(25)
+                .register_file(config.training_registers, config.training_registers)
+                .build(&e);
+            let label = simulate_kernel(platform, &kernel, 5, 30).cycles_per_instance;
+
+            let mut x = vec![0.0f64; dim];
+            for (i, n) in e.iter() {
+                x[feature_of[i.index()]] += f64::from(n);
+            }
+            x[dim - 1] = 1.0; // intercept
+            for a in 0..dim {
+                for b in 0..dim {
+                    xtx[a * dim + b] += x[a] * x[b];
+                }
+                xty[a] += x[a] * label;
+            }
+        }
+        for a in 0..dim {
+            xtx[a * dim + a] += config.ridge;
+        }
+        let weights = solve_linear_system(&mut xtx, &mut xty, dim);
+        IthemalLike {
+            feature_of,
+            weights,
+        }
+    }
+
+    /// The learned weight vector (features, then intercept).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl ThroughputPredictor for IthemalLike {
+    fn predict(&self, e: &Experiment) -> f64 {
+        let dim = self.weights.len();
+        let mut acc = self.weights[dim - 1]; // intercept
+        for (i, n) in e.iter() {
+            acc += self.weights[self.feature_of[i.index()]] * f64::from(n);
+        }
+        acc.max(0.05) // throughputs are positive
+    }
+
+    fn name(&self) -> &str {
+        "Ithemal"
+    }
+}
+
+/// Solves `A x = b` in place by Gaussian elimination with partial
+/// pivoting; `a` is row-major `n × n`.
+///
+/// # Panics
+///
+/// Panics if the system is numerically singular (cannot happen with the
+/// ridge term).
+fn solve_linear_system(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                a[r1 * n + col]
+                    .abs()
+                    .partial_cmp(&a[r2 * n + col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty column range");
+        assert!(
+            a[pivot_row * n + col].abs() > 1e-12,
+            "singular normal equations"
+        );
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+        let inv = 1.0 / a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmevo_machine::platforms;
+
+    #[test]
+    fn gaussian_elimination_solves_small_systems() {
+        // [2 1; 1 3] x = [5; 10] => x = [1, 3]
+        let mut a = vec![2.0, 1.0, 1.0, 3.0];
+        let mut b = vec![5.0, 10.0];
+        let x = solve_linear_system(&mut a, &mut b, 2);
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_produces_finite_weights() {
+        let p = platforms::skl();
+        let model = IthemalLike::train(
+            &p,
+            &IthemalConfig {
+                training_blocks: 60,
+                ..IthemalConfig::default()
+            },
+        );
+        assert_eq!(model.weights().len(), NUM_FEATURES + 1);
+        assert!(model.weights().iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn predictions_are_positive_and_grow_with_block_size() {
+        let p = platforms::skl();
+        let model = IthemalLike::train(
+            &p,
+            &IthemalConfig {
+                training_blocks: 80,
+                ..IthemalConfig::default()
+            },
+        );
+        let small = Experiment::from_counts(&[(InstId(0), 1)]);
+        let big = Experiment::from_counts(&[(InstId(0), 8)]);
+        let ts = model.predict(&small);
+        let tb = model.predict(&big);
+        assert!(ts > 0.0);
+        assert!(tb > ts, "more instructions must predict more cycles");
+        assert_eq!(model.name(), "Ithemal");
+    }
+}

@@ -1,0 +1,72 @@
+//! Reproduces paper Table 2: PMEvo mapping characteristics — the full
+//! inference pipeline per platform, reporting benchmarking time,
+//! inference time, congruence ratio and distinct-µop count. The inferred
+//! mappings are cached in the artifact directory for `table3`, `table4`
+//! and `fig7`.
+//!
+//! Usage: `cargo run --release -p pmevo-bench --bin table2
+//!         [--platform SKL|ZEN|A72] [--scale 1] [--seed 2]`
+//!
+//! The paper ran with population 100 000 over hours of machine time;
+//! `--scale N` multiplies the default population of 300 (use `--scale 10`
+//! with `--full`-style patience for higher fidelity).
+
+use pmevo_bench::{
+    artifact_dir, default_pipeline_config, parallel_measure, save_mapping, selected_platforms,
+    Args,
+};
+use pmevo_machine::MeasureConfig;
+use pmevo_stats::Table;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_usize("scale", 1);
+    let seed = args.get_u64("seed", 2);
+    let platforms = selected_platforms(&args);
+
+    println!(
+        "Table 2: PMEvo mapping characteristics (population {}, ε = 0.05)\n",
+        300 * scale.max(1)
+    );
+    let mut table = Table::new(vec![
+        "",
+        "benchmarking time",
+        "inference time",
+        "insns found congruent",
+        "number of µops",
+    ]);
+
+    for platform in &platforms {
+        eprintln!("[table2] inferring mapping for {} ...", platform.name());
+        let measure_cfg = MeasureConfig::default();
+        let config = default_pipeline_config(scale, seed);
+        let result = pmevo_evo::run(
+            platform.isa().len(),
+            platform.num_ports(),
+            |exps| parallel_measure(platform, &measure_cfg, exps),
+            &config,
+        );
+        let path = artifact_dir().join(format!(
+            "pmevo_{}_x{scale}.json",
+            platform.name().to_lowercase()
+        ));
+        save_mapping(&path, &result.mapping);
+        eprintln!(
+            "[table2] {}: D_avg = {:.4}, {} generations, mapping cached at {}",
+            platform.name(),
+            result.evo.objectives.error,
+            result.evo.generations,
+            path.display()
+        );
+        table.row(vec![
+            platform.name().to_string(),
+            format!("{:.1?}", result.benchmarking_time),
+            format!("{:.1?}", result.inference_time),
+            format!("{:.0}%", 100.0 * result.congruent_fraction),
+            result.num_distinct_uops().to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("Paper values (hardware scale): benchmarking 20h/27h/74h,");
+    println!("inference 5h/21h/12h, congruent 69%/53%/56%, µops 17/15/9.");
+}

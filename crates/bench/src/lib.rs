@@ -1,0 +1,321 @@
+//! Shared harness for the reproduction binaries (one binary per paper
+//! table/figure; see DESIGN.md §4 for the full experiment index).
+//!
+//! Everything here is deliberately boring plumbing: benchmark-set
+//! sampling, parallel measurement, predictor evaluation, a tiny CLI-flag
+//! parser, and the artifact cache that lets `table3`/`table4`/`fig7`
+//! reuse the mappings inferred by `table2` instead of re-running
+//! inference.
+
+use pmevo_core::{Experiment, InstId, MeasuredExperiment, ThreeLevelMapping, ThroughputPredictor};
+use pmevo_evo::{EvoConfig, PipelineConfig};
+use pmevo_machine::{MeasureConfig, Measurer, Platform};
+use pmevo_stats::AccuracySummary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+
+/// Samples `count` random instruction multisets of the given `size`
+/// (uniformly over multisets, as in the paper's benchmark sets, §5.3).
+pub fn sample_experiments(
+    num_insts: usize,
+    size: u32,
+    count: usize,
+    seed: u64,
+) -> Vec<Experiment> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let counts: Vec<(InstId, u32)> = (0..size)
+                .map(|_| (InstId(rng.gen_range(0..num_insts as u32)), 1))
+                .collect();
+            Experiment::from_counts(&counts)
+        })
+        .collect()
+}
+
+/// Measures experiments on `platform` in parallel across all cores.
+pub fn parallel_measure(
+    platform: &Platform,
+    config: &MeasureConfig,
+    experiments: &[Experiment],
+) -> Vec<f64> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(experiments.len().max(1));
+    let chunk = experiments.len().div_ceil(threads).max(1);
+    let mut out = Vec::with_capacity(experiments.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = experiments
+            .chunks(chunk)
+            .map(|exps| {
+                scope.spawn(move || {
+                    let measurer = Measurer::new(platform, config.clone());
+                    exps.iter().map(|e| measurer.measure(e)).collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("measurement worker panicked"));
+        }
+    });
+    out
+}
+
+/// Measures a benchmark set and pairs experiments with throughputs.
+pub fn measure_benchmark_set(
+    platform: &Platform,
+    config: &MeasureConfig,
+    experiments: &[Experiment],
+) -> Vec<MeasuredExperiment> {
+    let tps = parallel_measure(platform, config, experiments);
+    experiments
+        .iter()
+        .cloned()
+        .zip(tps)
+        .map(|(e, t)| MeasuredExperiment::new(e, t))
+        .collect()
+}
+
+/// Evaluates a predictor on a measured benchmark set.
+pub fn evaluate_predictor(
+    predictor: &dyn ThroughputPredictor,
+    benchmark: &[MeasuredExperiment],
+) -> (Vec<f64>, AccuracySummary) {
+    let predictions: Vec<f64> = benchmark
+        .iter()
+        .map(|me| predictor.predict(&me.experiment))
+        .collect();
+    let measured: Vec<f64> = benchmark.iter().map(|me| me.throughput).collect();
+    let summary = AccuracySummary::compute(&predictions, &measured);
+    (predictions, summary)
+}
+
+/// The artifact directory (inferred mappings, heat-map CSVs).
+pub fn artifact_dir() -> PathBuf {
+    let dir = std::env::var_os("PMEVO_ARTIFACTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("artifacts"));
+    std::fs::create_dir_all(&dir).expect("create artifact directory");
+    dir
+}
+
+/// Default pipeline configuration for simulator-scale inference runs.
+///
+/// The paper ran with a population of 100 000 on real machines over
+/// hours; the defaults here are sized so the whole reproduction suite
+/// runs in minutes. `scale` multiplies the population size for
+/// higher-fidelity runs (`--full` uses 10).
+pub fn default_pipeline_config(scale: usize, seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        epsilon: 0.05,
+        congruence_filtering: true,
+        extra_triples: 0,
+        evo: EvoConfig {
+            population_size: 300 * scale.max(1),
+            max_generations: 50,
+            seed,
+            ..EvoConfig::default()
+        },
+    }
+}
+
+/// Infers a PMEvo mapping for `platform`, caching the result as JSON in
+/// the artifact directory (keyed by platform name and scale).
+///
+/// # Panics
+///
+/// Panics on I/O or serialization failures, or if inference produces an
+/// inconsistent mapping.
+pub fn pmevo_mapping_cached(platform: &Platform, scale: usize, seed: u64) -> ThreeLevelMapping {
+    let path = artifact_dir().join(format!(
+        "pmevo_{}_x{scale}.json",
+        platform.name().to_lowercase()
+    ));
+    if let Some(m) = load_mapping(&path, platform) {
+        return m;
+    }
+    eprintln!(
+        "[pmevo-bench] no cached mapping at {}; running inference (use `table2` to pre-compute)",
+        path.display()
+    );
+    let measure_cfg = MeasureConfig::default();
+    let result = pmevo_evo::run(
+        platform.isa().len(),
+        platform.num_ports(),
+        |exps| parallel_measure(platform, &measure_cfg, exps),
+        &default_pipeline_config(scale, seed),
+    );
+    save_mapping(&path, &result.mapping);
+    result.mapping
+}
+
+/// Loads a cached mapping if present and shape-compatible.
+pub fn load_mapping(path: &Path, platform: &Platform) -> Option<ThreeLevelMapping> {
+    let data = std::fs::read_to_string(path).ok()?;
+    let mapping: ThreeLevelMapping = serde_json::from_str(&data).ok()?;
+    (mapping.num_insts() == platform.isa().len()
+        && mapping.num_ports() == platform.num_ports())
+    .then_some(mapping)
+}
+
+/// Saves a mapping as pretty JSON.
+///
+/// # Panics
+///
+/// Panics on I/O failure.
+pub fn save_mapping(path: &Path, mapping: &ThreeLevelMapping) {
+    let json = serde_json::to_string_pretty(mapping).expect("mapping serializes");
+    std::fs::write(path, json).expect("write mapping artifact");
+}
+
+/// A minimal `--flag value` / `--switch` parser for the reproduction
+/// binaries.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_bench::Args;
+///
+/// let args = Args::parse_from(["--n", "100", "--full"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.get_usize("n", 5), 100);
+/// assert!(args.has("full"));
+/// assert_eq!(args.get_usize("seed", 7), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses the process's CLI arguments.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (for tests).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut pairs = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next(),
+                    _ => None,
+                };
+                pairs.push((name.to_string(), value));
+            } else {
+                eprintln!("[pmevo-bench] ignoring stray argument {a:?}");
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Whether `--name` was given (with or without value).
+    pub fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    /// The value of `--name` as `usize`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get_str(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// The value of `--name` as `u64`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.get_str(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// The raw value of `--name`, if given.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+/// Resolves the platforms selected by `--platform NAME` (default: all).
+///
+/// # Panics
+///
+/// Panics on an unknown platform name.
+pub fn selected_platforms(args: &Args) -> Vec<Platform> {
+    use pmevo_machine::platforms;
+    match args.get_str("platform") {
+        None => vec![platforms::skl(), platforms::zen(), platforms::a72()],
+        Some(name) => match name.to_uppercase().as_str() {
+            "SKL" => vec![platforms::skl()],
+            "ZEN" => vec![platforms::zen()],
+            "A72" => vec![platforms::a72()],
+            other => panic!("unknown platform {other}; expected SKL, ZEN or A72"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmevo_machine::platforms;
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let a = sample_experiments(50, 5, 10, 1);
+        let b = sample_experiments(50, 5, 10, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|e| e.total_insts() == 5));
+        assert_ne!(a, sample_experiments(50, 5, 10, 2));
+    }
+
+    #[test]
+    fn parallel_measure_matches_sequential() {
+        let p = platforms::skl();
+        let cfg = MeasureConfig::exact();
+        let exps = sample_experiments(p.isa().len(), 3, 6, 3);
+        let par = parallel_measure(&p, &cfg, &exps);
+        let measurer = Measurer::new(&p, cfg.clone());
+        for (e, &t) in exps.iter().zip(&par) {
+            assert_eq!(measurer.measure(e), t);
+        }
+    }
+
+    #[test]
+    fn args_parser_handles_flags_and_values() {
+        let args = Args::parse_from(
+            ["--n", "42", "--full", "--platform", "zen"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(args.get_usize("n", 0), 42);
+        assert!(args.has("full"));
+        assert_eq!(args.get_str("platform"), Some("zen"));
+        assert_eq!(selected_platforms(&args)[0].name(), "ZEN");
+        assert_eq!(selected_platforms(&Args::default()).len(), 3);
+    }
+
+    #[test]
+    fn mapping_cache_roundtrip() {
+        let p = platforms::a72();
+        let dir = std::env::temp_dir().join("pmevo-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        save_mapping(&path, p.ground_truth());
+        let m = load_mapping(&path, &p).expect("roundtrip");
+        assert_eq!(&m, p.ground_truth());
+        // Mismatched platform is rejected.
+        assert!(load_mapping(&path, &platforms::skl()).is_none());
+    }
+}

@@ -1,0 +1,461 @@
+//! The bottleneck simulation algorithm (paper §4.5) and an LP reference.
+//!
+//! Both compute the throughput `t*_m(e)` of paper Definition 3 for a
+//! two-level problem instance given as a [`MassVector`]: the multiset of
+//! µops (identified by port sets) with real-valued masses. Three-level
+//! problems reduce to this form via
+//! [`ThreeLevelMapping::uop_masses`](crate::ThreeLevelMapping::uop_masses)
+//! (paper §3.2).
+//!
+//! The bottleneck algorithm implements Equation 1 of the paper:
+//!
+//! ```text
+//! t*_m(e) = max over non-empty Q ⊆ P of
+//!           (Σ { e(u) | Ports(u) ⊆ Q }) / |Q|
+//! ```
+//!
+//! [`throughput_fast`] aggregates masses per port-subset and uses a
+//! subset-sum (zeta) transform, so its cost is `Θ(|P| · 2^|P|)` independent
+//! of the number of µops; [`throughput_naive`] re-scans all µops for every
+//! subset (`Θ(2^|P|) · |µops|`) and exists as the ablation baseline;
+//! [`lp_throughput`] solves the linear program with the simplex solver and
+//! is the reference for correctness tests and the Figure 8 comparison.
+
+use crate::{PortSet, MAX_PORTS};
+use pmevo_lp::{Problem, Relation};
+
+/// Largest number of *live* ports (ports actually usable by some µop of
+/// the experiment) for which subset enumeration is permitted.
+///
+/// `2^26` doubles are 512 MiB of scratch; beyond that the enumeration is
+/// clearly the wrong tool and the LP solver should be used instead.
+pub const MAX_ENUMERABLE_PORTS: usize = 26;
+
+/// A multiset of µops with fractional masses, the input of the two-level
+/// throughput computation.
+///
+/// µops are identified by their [`PortSet`]; adding mass for an existing
+/// port set merges with the previous entry. This merging is one of the
+/// "aggressive performance optimizations" the paper alludes to: the
+/// throughput LP only depends on total mass per distinct port set.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_core::bottleneck::{throughput_fast, MassVector};
+/// use pmevo_core::PortSet;
+///
+/// let mut mv = MassVector::new();
+/// mv.add(PortSet::from_ports(&[0, 1]), 2.0);
+/// mv.add(PortSet::from_ports(&[0]), 1.0);
+/// mv.add(PortSet::from_ports(&[0, 1]), 1.0); // merges with the first add
+/// assert_eq!(mv.len(), 2);
+/// assert_eq!(throughput_fast(&mv), 2.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MassVector {
+    items: Vec<(PortSet, f64)>,
+}
+
+impl MassVector {
+    /// Creates an empty mass vector.
+    pub fn new() -> Self {
+        MassVector { items: Vec::new() }
+    }
+
+    /// Adds `mass` units of the µop executable on `ports`.
+    ///
+    /// Zero-mass additions and empty port sets with zero mass are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mass` is negative or if `ports` is empty while `mass` is
+    /// positive (such an experiment has no feasible schedule).
+    pub fn add(&mut self, ports: PortSet, mass: f64) {
+        assert!(mass >= 0.0, "negative µop mass {mass}");
+        if mass == 0.0 {
+            return;
+        }
+        assert!(
+            !ports.is_empty(),
+            "µop with positive mass but no ports has no feasible schedule"
+        );
+        match self.items.binary_search_by_key(&ports, |&(p, _)| p) {
+            Ok(idx) => self.items[idx].1 += mass,
+            Err(idx) => self.items.insert(idx, (ports, mass)),
+        }
+    }
+
+    /// Number of distinct µops (distinct port sets).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the vector holds no mass.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over `(port set, mass)` entries in port-set order.
+    pub fn iter(&self) -> impl Iterator<Item = (PortSet, f64)> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Total mass across all µops.
+    pub fn total_mass(&self) -> f64 {
+        self.items.iter().map(|&(_, m)| m).sum()
+    }
+
+    /// Union of all port sets with positive mass.
+    pub fn live_ports(&self) -> PortSet {
+        self.items
+            .iter()
+            .fold(PortSet::EMPTY, |acc, &(p, _)| acc.union(p))
+    }
+}
+
+impl FromIterator<(PortSet, f64)> for MassVector {
+    fn from_iter<I: IntoIterator<Item = (PortSet, f64)>>(iter: I) -> Self {
+        let mut mv = MassVector::new();
+        for (p, m) in iter {
+            mv.add(p, m);
+        }
+        mv
+    }
+}
+
+/// Like [`compact`], but also returns the dense-index → global-port
+/// table, for callers that must translate results back (the bottleneck
+/// set extraction in [`crate::allocation`]).
+pub(crate) fn compact_for_allocation(
+    masses: &MassVector,
+    live: PortSet,
+) -> (Vec<(u32, f64)>, Vec<usize>) {
+    let dense_to_global: Vec<usize> = live.iter().collect();
+    (compact(masses, live), dense_to_global)
+}
+
+/// Compacts the ports of `live` to dense indices and returns, for each
+/// µop, its compacted mask alongside its mass.
+fn compact(masses: &MassVector, live: PortSet) -> Vec<(u32, f64)> {
+    // position[p] = dense index of global port p
+    let mut position = [0u8; MAX_PORTS];
+    for (dense, p) in live.iter().enumerate() {
+        position[p] = dense as u8;
+    }
+    masses
+        .iter()
+        .map(|(ports, mass)| {
+            let mut mask = 0u32;
+            for p in ports.iter() {
+                mask |= 1 << position[p];
+            }
+            (mask, mass)
+        })
+        .collect()
+}
+
+/// Computes `t*_m(e)` with the bottleneck simulation algorithm using mass
+/// aggregation and a subset-sum transform.
+///
+/// Only the *live* ports (those usable by at least one µop with positive
+/// mass) are enumerated; dead ports can never belong to a bottleneck set
+/// `Q*` because removing them from `Q` only increases the quotient of
+/// Equation 1.
+///
+/// Returns `0.0` for an empty experiment.
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_ENUMERABLE_PORTS`] ports are live.
+pub fn throughput_fast(masses: &MassVector) -> f64 {
+    let live = masses.live_ports();
+    let k = live.len();
+    if k == 0 {
+        return 0.0;
+    }
+    assert!(
+        k <= MAX_ENUMERABLE_PORTS,
+        "{k} live ports exceed the subset-enumeration limit ({MAX_ENUMERABLE_PORTS}); \
+         use lp_throughput instead"
+    );
+    let size = 1usize << k;
+    let mut sum = vec![0.0f64; size];
+    for (mask, mass) in compact(masses, live) {
+        sum[mask as usize] += mass;
+    }
+    // Zeta transform: afterwards sum[Q] = Σ { mass(u) | ports(u) ⊆ Q }.
+    for bit in 0..k {
+        let b = 1usize << bit;
+        for q in 0..size {
+            if q & b != 0 {
+                sum[q] += sum[q ^ b];
+            }
+        }
+    }
+    let mut best = 0.0f64;
+    for (q, &s) in sum.iter().enumerate().skip(1) {
+        let t = s / (q.count_ones() as f64);
+        if t > best {
+            best = t;
+        }
+    }
+    best
+}
+
+/// Computes `t*_m(e)` by direct enumeration: for every non-empty subset of
+/// live ports, all µops are scanned to accumulate the contained mass.
+///
+/// This is the textbook reading of Equation 1 and serves as the ablation
+/// baseline for [`throughput_fast`]; both return identical values.
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_ENUMERABLE_PORTS`] ports are live.
+pub fn throughput_naive(masses: &MassVector) -> f64 {
+    let live = masses.live_ports();
+    let k = live.len();
+    if k == 0 {
+        return 0.0;
+    }
+    assert!(
+        k <= MAX_ENUMERABLE_PORTS,
+        "{k} live ports exceed the subset-enumeration limit ({MAX_ENUMERABLE_PORTS})"
+    );
+    let compacted = compact(masses, live);
+    let mut best = 0.0f64;
+    for q in 1u32..(1u32 << k) {
+        let mut s = 0.0;
+        for &(mask, mass) in &compacted {
+            if mask & !q == 0 {
+                s += mass;
+            }
+        }
+        let t = s / f64::from(q.count_ones());
+        if t > best {
+            best = t;
+        }
+    }
+    best
+}
+
+/// Computes `t*_m(e)` by solving the linear program of paper Definition 3
+/// with the [`pmevo_lp`] simplex solver.
+///
+/// Variables are created only for edges `(u, k) ∈ M`, so constraint (D)
+/// (`x_uk = 0` for non-edges) is implicit. Used for cross-checking the
+/// bottleneck algorithm (paper Appendix A) and for the running-time
+/// comparison of Figure 8.
+///
+/// Returns `0.0` for an empty experiment.
+///
+/// # Panics
+///
+/// Panics if the LP solver fails, which cannot happen for well-formed
+/// inputs: the program is always feasible (every µop has a port) and
+/// bounded (t ≥ 0).
+pub fn lp_throughput(masses: &MassVector) -> f64 {
+    if masses.is_empty() {
+        return 0.0;
+    }
+    let live = masses.live_ports();
+    let ports: Vec<usize> = live.iter().collect();
+    let num_uops = masses.len();
+
+    // Variable layout: x_{u,k} for each edge, then t last.
+    let mut edge_vars: Vec<Vec<(usize, usize)>> = Vec::with_capacity(num_uops); // (port, var)
+    let mut next_var = 0usize;
+    for (uop_ports, _) in masses.iter() {
+        let vars = uop_ports
+            .iter()
+            .map(|p| {
+                let v = next_var;
+                next_var += 1;
+                (p, v)
+            })
+            .collect();
+        edge_vars.push(vars);
+    }
+    let t_var = next_var;
+    let mut problem = Problem::minimize(t_var + 1);
+    problem.set_objective_coeff(t_var, 1.0);
+
+    // (A): Σ_k x_uk = mass(u)
+    for (u, (_, mass)) in masses.iter().enumerate() {
+        let terms: Vec<(usize, f64)> = edge_vars[u].iter().map(|&(_, v)| (v, 1.0)).collect();
+        problem.add_constraint(&terms, Relation::Eq, mass);
+    }
+    // (B): Σ_u x_uk − t ≤ 0 for each live port k
+    for &port in &ports {
+        let mut terms: Vec<(usize, f64)> = Vec::new();
+        for vars in &edge_vars {
+            for &(p, v) in vars {
+                if p == port {
+                    terms.push((v, 1.0));
+                }
+            }
+        }
+        terms.push((t_var, -1.0));
+        problem.add_constraint(&terms, Relation::Le, 0.0);
+    }
+
+    problem
+        .solve()
+        .expect("throughput LP is feasible and bounded by construction")
+        .objective()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(ports: &[usize]) -> PortSet {
+        PortSet::from_ports(ports)
+    }
+
+    fn example1() -> MassVector {
+        // Figure 2 / Example 1: {add↦2, mul↦1, store↦1}
+        let mut mv = MassVector::new();
+        mv.add(ps(&[0, 1]), 2.0); // add ×2
+        mv.add(ps(&[0]), 1.0); // mul
+        mv.add(ps(&[2]), 1.0); // store
+        mv
+    }
+
+    #[test]
+    fn example1_throughput_is_1_5_in_all_engines() {
+        let mv = example1();
+        assert!((throughput_fast(&mv) - 1.5).abs() < 1e-12);
+        assert!((throughput_naive(&mv) - 1.5).abs() < 1e-12);
+        assert!((lp_throughput(&mv) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_experiment_has_zero_throughput() {
+        let mv = MassVector::new();
+        assert_eq!(throughput_fast(&mv), 0.0);
+        assert_eq!(throughput_naive(&mv), 0.0);
+        assert_eq!(lp_throughput(&mv), 0.0);
+    }
+
+    #[test]
+    fn single_uop_single_port() {
+        let mut mv = MassVector::new();
+        mv.add(ps(&[3]), 4.0);
+        assert_eq!(throughput_fast(&mv), 4.0);
+        assert_eq!(throughput_naive(&mv), 4.0);
+        assert!((lp_throughput(&mv) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_spreads_over_wide_uop() {
+        let mut mv = MassVector::new();
+        mv.add(ps(&[0, 1, 2, 3]), 4.0);
+        assert_eq!(throughput_fast(&mv), 1.0);
+    }
+
+    #[test]
+    fn disjoint_uops_do_not_interfere() {
+        let mut mv = MassVector::new();
+        mv.add(ps(&[0]), 2.0);
+        mv.add(ps(&[1]), 3.0);
+        assert_eq!(throughput_fast(&mv), 3.0);
+    }
+
+    #[test]
+    fn partial_overlap_bottleneck() {
+        // u1 on {0}, u2 on {0,1}: Q={0,1} gives (2+2)/2 = 2; Q={0} gives 2.
+        let mut mv = MassVector::new();
+        mv.add(ps(&[0]), 2.0);
+        mv.add(ps(&[0, 1]), 2.0);
+        assert_eq!(throughput_fast(&mv), 2.0);
+        // Make the narrow µop the constraint: Q={0} -> 3.
+        let mut mv2 = MassVector::new();
+        mv2.add(ps(&[0]), 3.0);
+        mv2.add(ps(&[0, 1]), 1.0);
+        assert_eq!(throughput_fast(&mv2), 3.0);
+    }
+
+    #[test]
+    fn dead_ports_are_ignored() {
+        // µops live on high port numbers only; enumeration must compact.
+        let mut mv = MassVector::new();
+        mv.add(ps(&[40, 63]), 2.0);
+        mv.add(ps(&[40]), 1.0);
+        assert_eq!(throughput_fast(&mv), 1.5);
+        assert_eq!(throughput_naive(&mv), 1.5);
+        assert!((lp_throughput(&mv) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_masses() {
+        let mut mv = MassVector::new();
+        mv.add(ps(&[0, 1]), 0.5);
+        mv.add(ps(&[1]), 0.25);
+        assert!((throughput_fast(&mv) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_is_equivalent_to_separate_adds() {
+        let mut a = MassVector::new();
+        a.add(ps(&[0, 2]), 1.0);
+        a.add(ps(&[0, 2]), 2.0);
+        let mut b = MassVector::new();
+        b.add(ps(&[0, 2]), 3.0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.total_mass(), 3.0);
+        assert_eq!(a.live_ports(), ps(&[0, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no feasible schedule")]
+    fn positive_mass_on_empty_ports_panics() {
+        let mut mv = MassVector::new();
+        mv.add(PortSet::EMPTY, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_mass_panics() {
+        let mut mv = MassVector::new();
+        mv.add(ps(&[0]), -1.0);
+    }
+
+    #[test]
+    fn from_iterator_collects_and_merges() {
+        let mv: MassVector = [(ps(&[0]), 1.0), (ps(&[0]), 2.0), (ps(&[1]), 1.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(mv.len(), 2);
+        assert_eq!(mv.total_mass(), 4.0);
+    }
+
+    #[test]
+    fn all_three_engines_agree_on_stress_cases() {
+        // Hand-picked awkward shapes: chains, stars, near-uniform overlap.
+        let cases: Vec<MassVector> = vec![
+            [(ps(&[0, 1]), 1.0), (ps(&[1, 2]), 1.0), (ps(&[2, 3]), 1.0)]
+                .into_iter()
+                .collect(),
+            [
+                (ps(&[0]), 1.0),
+                (ps(&[0, 1]), 1.0),
+                (ps(&[0, 1, 2]), 1.0),
+                (ps(&[0, 1, 2, 3]), 1.0),
+            ]
+            .into_iter()
+            .collect(),
+            [(ps(&[0, 3]), 2.5), (ps(&[1, 3]), 0.5), (ps(&[0, 1]), 1.5)]
+                .into_iter()
+                .collect(),
+        ];
+        for mv in cases {
+            let f = throughput_fast(&mv);
+            let n = throughput_naive(&mv);
+            let l = lp_throughput(&mv);
+            assert!((f - n).abs() < 1e-12, "fast {f} != naive {n} for {mv:?}");
+            assert!((f - l).abs() < 1e-7, "fast {f} != lp {l} for {mv:?}");
+        }
+    }
+}

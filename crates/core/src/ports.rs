@@ -1,0 +1,306 @@
+//! Execution ports and sets of ports.
+
+use std::fmt;
+
+/// Maximum number of execution ports supported by the bitmask
+/// representation of [`PortSet`].
+///
+/// Real machines have 7–10 ports (paper Table 1); 64 leaves ample headroom
+/// for the synthetic sweeps of Figure 8.
+pub const MAX_PORTS: usize = 64;
+
+/// Identifier of a single execution port.
+///
+/// Ports are numbered densely from zero within one machine description.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct PortId(pub u8);
+
+impl PortId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A set of execution ports, stored as a 64-bit mask.
+///
+/// A `PortSet` doubles as the identity of a µop: the paper identifies each
+/// µop with the set of ports able to execute it (§4.4), so two µops with
+/// equal port sets are the same µop.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_core::PortSet;
+///
+/// let a = PortSet::from_ports(&[0, 1]);
+/// let b = PortSet::from_ports(&[1, 5]);
+/// assert_eq!(a.len(), 2);
+/// assert!(a.contains(1));
+/// assert!(a.intersects(b));
+/// assert!(!a.is_subset_of(b));
+/// assert_eq!(a.union(b), PortSet::from_ports(&[0, 1, 5]));
+/// ```
+#[derive(
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct PortSet(u64);
+
+impl PortSet {
+    /// The empty port set.
+    pub const EMPTY: PortSet = PortSet(0);
+
+    /// Creates a set from a raw bitmask (bit `k` ⇔ port `k`).
+    pub fn from_mask(mask: u64) -> Self {
+        PortSet(mask)
+    }
+
+    /// Creates a set containing exactly the given ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any port index is `>= MAX_PORTS`.
+    pub fn from_ports(ports: &[usize]) -> Self {
+        let mut mask = 0u64;
+        for &p in ports {
+            assert!(p < MAX_PORTS, "port {p} out of range");
+            mask |= 1 << p;
+        }
+        PortSet(mask)
+    }
+
+    /// The set `{0, 1, ..., n-1}` of the first `n` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PORTS`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= MAX_PORTS, "{n} ports out of range");
+        if n == MAX_PORTS {
+            PortSet(u64::MAX)
+        } else {
+            PortSet((1u64 << n) - 1)
+        }
+    }
+
+    /// The singleton set `{p}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= MAX_PORTS`.
+    pub fn singleton(p: usize) -> Self {
+        assert!(p < MAX_PORTS, "port {p} out of range");
+        PortSet(1 << p)
+    }
+
+    /// The raw bitmask.
+    pub fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// Number of ports in the set (the paper's µop *width* `|u|`).
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether port `p` is in the set.
+    pub fn contains(self, p: usize) -> bool {
+        p < MAX_PORTS && (self.0 >> p) & 1 == 1
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: PortSet) -> PortSet {
+        PortSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: PortSet) -> PortSet {
+        PortSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(self, other: PortSet) -> PortSet {
+        PortSet(self.0 & !other.0)
+    }
+
+    /// Returns the set with port `p` inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= MAX_PORTS`.
+    #[must_use]
+    pub fn with(self, p: usize) -> PortSet {
+        assert!(p < MAX_PORTS, "port {p} out of range");
+        PortSet(self.0 | (1 << p))
+    }
+
+    /// Whether the sets share at least one port.
+    pub fn intersects(self, other: PortSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(self, other: PortSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over the port indices in ascending order.
+    pub fn iter(self) -> PortSetIter {
+        PortSetIter(self.0)
+    }
+}
+
+impl fmt::Debug for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PortSet{self}")
+    }
+}
+
+impl fmt::Display for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (n, p) in self.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for PortSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut mask = 0u64;
+        for p in iter {
+            assert!(p < MAX_PORTS, "port {p} out of range");
+            mask |= 1 << p;
+        }
+        PortSet(mask)
+    }
+}
+
+/// Iterator over the ports of a [`PortSet`], produced by [`PortSet::iter`].
+#[derive(Debug, Clone)]
+pub struct PortSetIter(u64);
+
+impl Iterator for PortSetIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let p = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(p)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PortSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = PortSet::from_ports(&[0, 3, 7]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0));
+        assert!(s.contains(3));
+        assert!(!s.contains(1));
+        assert!(!s.contains(200));
+        assert!(!s.is_empty());
+        assert!(PortSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn first_n_and_singleton() {
+        assert_eq!(PortSet::first_n(3), PortSet::from_ports(&[0, 1, 2]));
+        assert_eq!(PortSet::first_n(0), PortSet::EMPTY);
+        assert_eq!(PortSet::first_n(64).len(), 64);
+        assert_eq!(PortSet::singleton(5), PortSet::from_ports(&[5]));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = PortSet::from_ports(&[0, 1, 2]);
+        let b = PortSet::from_ports(&[2, 3]);
+        assert_eq!(a.union(b), PortSet::from_ports(&[0, 1, 2, 3]));
+        assert_eq!(a.intersection(b), PortSet::from_ports(&[2]));
+        assert_eq!(a.difference(b), PortSet::from_ports(&[0, 1]));
+        assert!(a.intersects(b));
+        assert!(!a.is_subset_of(b));
+        assert!(PortSet::from_ports(&[2]).is_subset_of(b));
+        assert!(PortSet::EMPTY.is_subset_of(a));
+        assert_eq!(a.with(5), PortSet::from_ports(&[0, 1, 2, 5]));
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let s = PortSet::from_ports(&[9, 1, 4]);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![1, 4, 9]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(PortSet::from_ports(&[0, 2]).to_string(), "{0,2}");
+        assert_eq!(PortSet::EMPTY.to_string(), "{}");
+        assert_eq!(PortId(3).to_string(), "P3");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: PortSet = [1usize, 3, 5].into_iter().collect();
+        assert_eq!(s, PortSet::from_ports(&[1, 3, 5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_port_panics() {
+        PortSet::from_ports(&[64]);
+    }
+}

@@ -1,0 +1,197 @@
+//! The throughput-predictor abstraction shared by PMEvo and all baselines.
+
+use crate::{Experiment, ThreeLevelMapping, TwoLevelMapping};
+
+/// A model that predicts the steady-state throughput of an experiment.
+///
+/// Implementors include mappings inferred by PMEvo, ground-truth mappings
+/// (the "uops.info" baseline), and the IACA-, llvm-mca- and Ithemal-like
+/// baselines in `pmevo-baselines`. Predictions are in cycles per
+/// experiment instance, the unit of paper Definition 1.
+pub trait ThroughputPredictor {
+    /// Predicts the throughput of `e` in cycles.
+    fn predict(&self, e: &Experiment) -> f64;
+
+    /// A short human-readable name for result tables.
+    fn name(&self) -> &str;
+}
+
+/// Predicts throughput from a port mapping with the bottleneck simulation
+/// algorithm, i.e. under the paper's optimal-scheduler model.
+///
+/// This is how an inferred PMEvo mapping and the uops.info-style ground
+/// truth mapping are evaluated in paper §5.3.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_core::{
+///     Experiment, InstId, MappingPredictor, PortSet, ThroughputPredictor,
+///     ThreeLevelMapping, UopEntry,
+/// };
+///
+/// let m = ThreeLevelMapping::new(2, vec![
+///     vec![UopEntry::new(1, PortSet::from_ports(&[0, 1]))],
+/// ]);
+/// let p = MappingPredictor::new("demo", m);
+/// let e = Experiment::from_counts(&[(InstId(0), 4)]);
+/// assert_eq!(p.predict(&e), 2.0);
+/// assert_eq!(p.name(), "demo");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MappingPredictor {
+    name: String,
+    mapping: ThreeLevelMapping,
+}
+
+impl MappingPredictor {
+    /// Wraps a three-level mapping as a predictor.
+    pub fn new(name: impl Into<String>, mapping: ThreeLevelMapping) -> Self {
+        MappingPredictor {
+            name: name.into(),
+            mapping,
+        }
+    }
+
+    /// Wraps a two-level mapping by lifting every instruction to a single
+    /// µop executable on its port set.
+    pub fn from_two_level(name: impl Into<String>, mapping: &TwoLevelMapping) -> Self {
+        let decomp = mapping
+            .all_ports()
+            .iter()
+            .map(|&ps| vec![crate::UopEntry::new(1, ps)])
+            .collect();
+        MappingPredictor::new(name, ThreeLevelMapping::new(mapping.num_ports(), decomp))
+    }
+
+    /// The underlying mapping.
+    pub fn mapping(&self) -> &ThreeLevelMapping {
+        &self.mapping
+    }
+}
+
+impl ThroughputPredictor for MappingPredictor {
+    fn predict(&self, e: &Experiment) -> f64 {
+        self.mapping.throughput(e)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Mean relative disagreement between two predictors over a probe set:
+/// `mean(|a(e) − b(e)| / max(a(e), b(e)))`, in `[0, 1)`.
+///
+/// Port mappings are not uniquely determined by throughputs (paper
+/// §4.4), so inferred and ground-truth mappings are compared by
+/// *behavioural* agreement rather than structural equality. A value of
+/// 0 means the mappings are throughput-equivalent on the probe set.
+///
+/// # Panics
+///
+/// Panics if `experiments` is empty or a prediction is not positive.
+pub fn prediction_agreement(
+    a: &dyn ThroughputPredictor,
+    b: &dyn ThroughputPredictor,
+    experiments: &[Experiment],
+) -> f64 {
+    assert!(!experiments.is_empty(), "empty probe set");
+    let sum: f64 = experiments
+        .iter()
+        .map(|e| {
+            let ta = a.predict(e);
+            let tb = b.predict(e);
+            assert!(ta > 0.0 && tb > 0.0, "non-positive prediction");
+            (ta - tb).abs() / ta.max(tb)
+        })
+        .sum();
+    sum / experiments.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InstId, PortSet, UopEntry};
+
+    #[test]
+    fn two_level_lift_matches_two_level_throughput() {
+        let two = TwoLevelMapping::new(
+            3,
+            vec![
+                PortSet::from_ports(&[0]),
+                PortSet::from_ports(&[0, 1]),
+                PortSet::from_ports(&[2]),
+            ],
+        );
+        let p = MappingPredictor::from_two_level("lifted", &two);
+        for e in [
+            Experiment::singleton(InstId(0)),
+            Experiment::pair(InstId(0), 1, InstId(1), 2),
+            Experiment::from_counts(&[(InstId(0), 1), (InstId(1), 1), (InstId(2), 3)]),
+        ] {
+            assert!((p.predict(&e) - two.throughput(&e)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn agreement_is_zero_for_equivalent_mappings() {
+        // Structurally different but throughput-equivalent: {0,1} as one
+        // µop vs the congruent twin instruction.
+        let m1 = ThreeLevelMapping::new(
+            2,
+            vec![vec![UopEntry::new(1, PortSet::from_ports(&[0, 1]))]],
+        );
+        let a = MappingPredictor::new("a", m1.clone());
+        let b = MappingPredictor::new("b", m1);
+        let probes = vec![
+            Experiment::singleton(InstId(0)),
+            Experiment::from_counts(&[(InstId(0), 5)]),
+        ];
+        assert_eq!(prediction_agreement(&a, &b, &probes), 0.0);
+    }
+
+    #[test]
+    fn agreement_is_symmetric_and_bounded() {
+        let m1 = ThreeLevelMapping::new(
+            2,
+            vec![vec![UopEntry::new(1, PortSet::from_ports(&[0]))]],
+        );
+        let m2 = ThreeLevelMapping::new(
+            2,
+            vec![vec![UopEntry::new(3, PortSet::from_ports(&[0]))]],
+        );
+        let a = MappingPredictor::new("a", m1);
+        let b = MappingPredictor::new("b", m2);
+        let probes = vec![Experiment::singleton(InstId(0))];
+        let d1 = prediction_agreement(&a, &b, &probes);
+        let d2 = prediction_agreement(&b, &a, &probes);
+        assert_eq!(d1, d2);
+        assert!((0.0..1.0).contains(&d1));
+        // 1 vs 3 cycles: |1-3|/3 = 2/3.
+        assert!((d1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty probe set")]
+    fn agreement_rejects_empty_probes() {
+        let m = ThreeLevelMapping::new(
+            1,
+            vec![vec![UopEntry::new(1, PortSet::from_ports(&[0]))]],
+        );
+        let a = MappingPredictor::new("a", m.clone());
+        let b = MappingPredictor::new("b", m);
+        prediction_agreement(&a, &b, &[]);
+    }
+
+    #[test]
+    fn predictor_is_usable_as_trait_object() {
+        let m = ThreeLevelMapping::new(
+            1,
+            vec![vec![UopEntry::new(2, PortSet::from_ports(&[0]))]],
+        );
+        let p: Box<dyn ThroughputPredictor> = Box::new(MappingPredictor::new("obj", m));
+        assert_eq!(p.predict(&Experiment::singleton(InstId(0))), 2.0);
+        assert_eq!(p.name(), "obj");
+    }
+}

@@ -1,0 +1,177 @@
+//! Human-readable rendering of port mappings.
+//!
+//! Inferred port mappings are the user-facing product of PMEvo — the
+//! paper stresses that, unlike a neural model, "a compact port mapping is
+//! more easily interpreted". This module renders mappings in the
+//! uops.info-style `n*pXY` notation (e.g. `1*p0156+1*p23` for a
+//! load-ALU instruction on Skylake) and as a per-port usage table.
+
+use crate::{InstId, ThreeLevelMapping, UopEntry};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Renders one µop decomposition in `n*pXY` notation.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_core::{PortSet, UopEntry, render};
+///
+/// let entries = [
+///     UopEntry::new(1, PortSet::from_ports(&[0, 1, 5, 6])),
+///     UopEntry::new(2, PortSet::from_ports(&[2, 3])),
+/// ];
+/// assert_eq!(render::decomposition(&entries), "1*p0156+2*p23");
+/// ```
+pub fn decomposition(entries: &[UopEntry]) -> String {
+    if entries.is_empty() {
+        return "-".to_string();
+    }
+    let mut out = String::new();
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push('+');
+        }
+        write!(out, "{}*p", e.count).expect("writing to String cannot fail");
+        for p in e.ports.iter() {
+            if p < 10 {
+                write!(out, "{p}").expect("writing to String cannot fail");
+            } else {
+                write!(out, "[{p}]").expect("writing to String cannot fail");
+            }
+        }
+    }
+    out
+}
+
+/// A displayable summary of a three-level mapping: one `n*pXY` line per
+/// instruction plus a per-port pressure profile.
+///
+/// Created by [`summary`]; instruction names are supplied by the caller
+/// (the core crate knows only ids).
+#[derive(Debug, Clone)]
+pub struct MappingSummary {
+    lines: Vec<(String, String)>,
+    port_usage: Vec<f64>,
+}
+
+impl MappingSummary {
+    /// The `(instruction name, decomposition)` lines.
+    pub fn lines(&self) -> &[(String, String)] {
+        &self.lines
+    }
+
+    /// Expected µop mass per port if every instruction executed once and
+    /// each µop spread evenly over its ports — a quick port-pressure
+    /// profile of the instruction set.
+    pub fn port_usage(&self) -> &[f64] {
+        &self.port_usage
+    }
+}
+
+impl fmt::Display for MappingSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .lines
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        for (name, decomp) in &self.lines {
+            writeln!(f, "{name:width$}  {decomp}")?;
+        }
+        writeln!(f)?;
+        write!(f, "port pressure:")?;
+        for (p, mass) in self.port_usage.iter().enumerate() {
+            write!(f, "  p{p}={mass:.1}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`MappingSummary`] for `mapping`, naming instruction `i`
+/// with `name(i)`.
+pub fn summary(
+    mapping: &ThreeLevelMapping,
+    mut name: impl FnMut(InstId) -> String,
+) -> MappingSummary {
+    let mut port_usage = vec![0.0; mapping.num_ports()];
+    let mut lines = Vec::with_capacity(mapping.num_insts());
+    for i in 0..mapping.num_insts() {
+        let id = InstId(i as u32);
+        let entries = mapping.decomposition(id);
+        lines.push((name(id), decomposition(entries)));
+        for e in entries {
+            let share = f64::from(e.count) / e.ports.len() as f64;
+            for p in e.ports.iter() {
+                port_usage[p] += share;
+            }
+        }
+    }
+    MappingSummary { lines, port_usage }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortSet;
+
+    fn fig4() -> ThreeLevelMapping {
+        let u1 = PortSet::from_ports(&[0]);
+        let u2 = PortSet::from_ports(&[0, 1]);
+        let u3 = PortSet::from_ports(&[2]);
+        ThreeLevelMapping::new(
+            3,
+            vec![
+                vec![UopEntry::new(2, u1)],
+                vec![UopEntry::new(1, u2)],
+                vec![UopEntry::new(1, u2)],
+                vec![UopEntry::new(1, u2), UopEntry::new(1, u3)],
+            ],
+        )
+    }
+
+    #[test]
+    fn notation_matches_uops_info_style() {
+        assert_eq!(
+            decomposition(&[UopEntry::new(1, PortSet::from_ports(&[0, 1, 5, 6]))]),
+            "1*p0156"
+        );
+        assert_eq!(
+            decomposition(&[
+                UopEntry::new(1, PortSet::from_ports(&[4])),
+                UopEntry::new(1, PortSet::from_ports(&[2, 3, 7])),
+            ]),
+            "1*p4+1*p237"
+        );
+        assert_eq!(decomposition(&[]), "-");
+    }
+
+    #[test]
+    fn ports_beyond_nine_are_bracketed() {
+        assert_eq!(
+            decomposition(&[UopEntry::new(1, PortSet::from_ports(&[9, 10]))]),
+            "1*p9[10]"
+        );
+    }
+
+    #[test]
+    fn summary_names_and_pressure() {
+        let m = fig4();
+        let names = ["mul", "add", "sub", "store"];
+        let s = summary(&m, |i| names[i.index()].to_string());
+        assert_eq!(s.lines().len(), 4);
+        assert_eq!(s.lines()[0], ("mul".to_string(), "2*p0".to_string()));
+        assert_eq!(
+            s.lines()[3],
+            ("store".to_string(), "1*p01+1*p2".to_string())
+        );
+        // Pressure: p0 gets 2 (mul) + 3×0.5 (three U2) = 3.5.
+        assert!((s.port_usage()[0] - 3.5).abs() < 1e-12);
+        assert!((s.port_usage()[2] - 1.0).abs() < 1e-12);
+        let rendered = s.to_string();
+        assert!(rendered.contains("2*p0"));
+        assert!(rendered.contains("port pressure:"));
+    }
+}

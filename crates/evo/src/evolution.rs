@@ -1,0 +1,450 @@
+//! The evolutionary algorithm and greedy local search (paper §4.4,
+//! Algorithm 1).
+//!
+//! Structure (quoted from the paper):
+//!
+//! ```text
+//! initialize population randomly
+//! while not done:
+//!     apply evolutionary operators      (binary recombination; no
+//!     evaluate fitness                   mutation — the paper found it
+//!     select new population              not worth its fitness budget)
+//! perform local search                  (hill climbing on µop counts)
+//! return fittest individual
+//! ```
+
+use crate::fitness::{scalarize, FitnessEvaluator, Objectives};
+use pmevo_core::{InstId, MeasuredExperiment, ThreeLevelMapping, UopEntry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable parameters of the evolutionary algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvoConfig {
+    /// Population size `p` (the paper used 100 000 on real machines; the
+    /// default here is sized for simulator-scale runs).
+    pub population_size: usize,
+    /// Hard generation limit.
+    pub max_generations: u32,
+    /// Stop when the best error has not improved by more than this for
+    /// [`stall_generations`](Self::stall_generations) generations.
+    pub convergence_tol: f64,
+    /// Patience for the convergence check.
+    pub stall_generations: u32,
+    /// Per-instruction probability of a random µop mutation in children.
+    /// The paper eliminated mutation (0.0, the default); non-zero values
+    /// exist for the ablation bench.
+    pub mutation_rate: f64,
+    /// Worker threads for fitness evaluation.
+    pub num_threads: usize,
+    /// Maximum full passes of the hill-climbing local search.
+    pub local_search_passes: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EvoConfig {
+    fn default() -> Self {
+        EvoConfig {
+            population_size: 500,
+            max_generations: 60,
+            convergence_tol: 1e-6,
+            stall_generations: 8,
+            mutation_rate: 0.0,
+            num_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            local_search_passes: 4,
+            seed: 0x90AD,
+        }
+    }
+}
+
+/// Result of an [`evolve`] run.
+#[derive(Debug, Clone)]
+pub struct EvoResult {
+    /// The fittest mapping after evolution and local search.
+    pub mapping: ThreeLevelMapping,
+    /// Its objectives on the training experiments.
+    pub objectives: Objectives,
+    /// Number of generations executed.
+    pub generations: u32,
+    /// Best `D_avg` per generation (for convergence plots).
+    pub history: Vec<f64>,
+}
+
+/// Binary recombination (paper §4.4): for each instruction, the combined
+/// µop multiset of both parents is split randomly into the two children.
+/// A child that would receive no µop for an instruction steals one item
+/// back, keeping every individual well-formed.
+fn recombine<R: Rng + ?Sized>(
+    rng: &mut R,
+    a: &ThreeLevelMapping,
+    b: &ThreeLevelMapping,
+) -> (ThreeLevelMapping, ThreeLevelMapping) {
+    let num_ports = a.num_ports();
+    let n = a.num_insts();
+    let mut da = Vec::with_capacity(n);
+    let mut db = Vec::with_capacity(n);
+    for i in 0..n {
+        let id = InstId(i as u32);
+        // Item pool: one item per µop occurrence of either parent.
+        let mut items: Vec<UopEntry> = Vec::new();
+        for e in a.decomposition(id).iter().chain(b.decomposition(id)) {
+            for _ in 0..e.count {
+                items.push(UopEntry::new(1, e.ports));
+            }
+        }
+        let mut ca: Vec<UopEntry> = Vec::new();
+        let mut cb: Vec<UopEntry> = Vec::new();
+        for item in &items {
+            if rng.gen::<bool>() {
+                ca.push(*item);
+            } else {
+                cb.push(*item);
+            }
+        }
+        if ca.is_empty() {
+            ca.push(cb[rng.gen_range(0..cb.len())]);
+        }
+        if cb.is_empty() {
+            cb.push(ca[rng.gen_range(0..ca.len())]);
+        }
+        da.push(ca);
+        db.push(cb);
+    }
+    (
+        ThreeLevelMapping::new(num_ports, da),
+        ThreeLevelMapping::new(num_ports, db),
+    )
+}
+
+/// Optional mutation operator (ablation only): with probability
+/// `rate` per instruction, resample one µop's port set.
+fn mutate<R: Rng + ?Sized>(rng: &mut R, m: &mut ThreeLevelMapping, rate: f64) {
+    if rate <= 0.0 {
+        return;
+    }
+    let num_ports = m.num_ports();
+    let full = pmevo_core::PortSet::first_n(num_ports).mask();
+    for i in 0..m.num_insts() {
+        if rng.gen::<f64>() < rate {
+            let id = InstId(i as u32);
+            let mut entries = m.decomposition(id).to_vec();
+            let idx = rng.gen_range(0..entries.len());
+            let ports = loop {
+                let mask = rng.gen::<u64>() & full;
+                if mask != 0 {
+                    break pmevo_core::PortSet::from_mask(mask);
+                }
+            };
+            entries[idx] = UopEntry::new(entries[idx].count, ports);
+            m.set_decomposition(id, entries);
+        }
+    }
+}
+
+/// Greedy hill climbing on µop multiplicities (paper §4.4): for every
+/// edge `(i, n, u)`, try `n ± 1` (dropping the µop when `n` reaches 0 and
+/// another µop remains) and keep the change if the mapping improves
+/// lexicographically in `(D_avg, V)`.
+pub(crate) fn hill_climb(
+    mapping: &mut ThreeLevelMapping,
+    evaluator: &FitnessEvaluator<'_>,
+    max_passes: u32,
+) -> Objectives {
+    let mut current = evaluator.evaluate(mapping);
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for i in 0..mapping.num_insts() {
+            let id = InstId(i as u32);
+            let entries = mapping.decomposition(id).to_vec();
+            for (idx, entry) in entries.iter().enumerate() {
+                for delta in [1i64, -1] {
+                    let new_count = entry.count as i64 + delta;
+                    if new_count < 0 || (new_count == 0 && entries.len() == 1) {
+                        continue;
+                    }
+                    let mut cand = entries.clone();
+                    cand[idx] = UopEntry::new(new_count as u32, entry.ports);
+                    let old = mapping.decomposition(id).to_vec();
+                    mapping.set_decomposition(id, cand);
+                    let obj = evaluator.evaluate(mapping);
+                    if obj.better_than(&current, 1e-9) {
+                        current = obj;
+                        improved = true;
+                        break; // keep; continue with next entry
+                    } else {
+                        mapping.set_decomposition(id, old);
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    current
+}
+
+/// Runs the evolutionary algorithm over `num_insts` (representative)
+/// instructions on a machine with `num_ports` ports.
+///
+/// `experiments` are the measured training experiments (over the same
+/// instruction universe `0..num_insts`), `indiv_tp[i]` the measured
+/// individual throughput of instruction `i` (used to bound the random
+/// initialization as in paper §4.4).
+///
+/// # Panics
+///
+/// Panics if inputs are empty or inconsistent.
+pub fn evolve(
+    num_insts: usize,
+    num_ports: usize,
+    experiments: &[MeasuredExperiment],
+    indiv_tp: &[f64],
+    config: &EvoConfig,
+) -> EvoResult {
+    assert!(num_insts > 0, "empty instruction universe");
+    assert_eq!(indiv_tp.len(), num_insts, "throughput table size mismatch");
+    assert!(config.population_size >= 2, "population too small");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let evaluator = FitnessEvaluator::new(experiments, config.num_threads);
+
+    let p = config.population_size;
+    let mut population: Vec<ThreeLevelMapping> = (0..p)
+        .map(|_| ThreeLevelMapping::sample_random(&mut rng, num_insts, num_ports, indiv_tp))
+        .collect();
+    let mut objectives = evaluator.evaluate_batch(&population);
+
+    let mut history = Vec::new();
+    let mut best_so_far = f64::INFINITY;
+    let mut stall = 0u32;
+    let mut generations = 0u32;
+
+    for gen in 0..config.max_generations {
+        generations = gen + 1;
+        // Children: p new individuals from random parent pairs.
+        let mut children = Vec::with_capacity(p);
+        while children.len() < p {
+            let ia = rng.gen_range(0..p);
+            let ib = rng.gen_range(0..p);
+            let (mut c1, mut c2) = recombine(&mut rng, &population[ia], &population[ib]);
+            mutate(&mut rng, &mut c1, config.mutation_rate);
+            mutate(&mut rng, &mut c2, config.mutation_rate);
+            children.push(c1);
+            if children.len() < p {
+                children.push(c2);
+            }
+        }
+        let child_objectives = evaluator.evaluate_batch(&children);
+
+        // Pool selection: keep the p best by scalarized fitness.
+        population.extend(children);
+        objectives.extend(child_objectives);
+        let fitness = scalarize(&objectives);
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&x, &y| {
+            fitness[x]
+                .partial_cmp(&fitness[y])
+                .expect("fitness values are finite")
+        });
+        order.truncate(p);
+        let mut new_pop = Vec::with_capacity(p);
+        let mut new_obj = Vec::with_capacity(p);
+        for idx in order {
+            new_pop.push(population[idx].clone());
+            new_obj.push(objectives[idx]);
+        }
+        population = new_pop;
+        objectives = new_obj;
+
+        let gen_best = objectives
+            .iter()
+            .map(|o| o.error)
+            .fold(f64::INFINITY, f64::min);
+        history.push(gen_best);
+        if gen_best < best_so_far - config.convergence_tol {
+            best_so_far = gen_best;
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall >= config.stall_generations {
+                break;
+            }
+        }
+    }
+
+    // Fittest individual by lexicographic (error, volume) — the final
+    // answer should put accuracy first.
+    let best_idx = (0..population.len())
+        .min_by(|&x, &y| {
+            (objectives[x].error, objectives[x].volume)
+                .partial_cmp(&(objectives[y].error, objectives[y].volume))
+                .expect("objectives are finite")
+        })
+        .expect("population is non-empty");
+    let mut best = population.swap_remove(best_idx);
+    let objectives = hill_climb(&mut best, &evaluator, config.local_search_passes);
+
+    EvoResult {
+        mapping: best,
+        objectives,
+        generations,
+        history,
+    }
+}
+
+/// Re-exported for the recombination unit tests and the ablation bench.
+#[doc(hidden)]
+pub fn recombine_for_test<R: Rng + ?Sized>(
+    rng: &mut R,
+    a: &ThreeLevelMapping,
+    b: &ThreeLevelMapping,
+) -> (ThreeLevelMapping, ThreeLevelMapping) {
+    recombine(rng, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmevo_core::{Experiment, PortSet};
+
+    fn uop(count: u32, ports: &[usize]) -> UopEntry {
+        UopEntry::new(count, PortSet::from_ports(ports))
+    }
+
+    /// Ground truth for a 3-instruction, 3-port machine; experiments are
+    /// labeled with its exact bottleneck throughputs.
+    fn toy_problem() -> (ThreeLevelMapping, Vec<MeasuredExperiment>, Vec<f64>) {
+        let gt = ThreeLevelMapping::new(
+            3,
+            vec![
+                vec![uop(1, &[0])],          // i0: port 0 only
+                vec![uop(1, &[0, 1])],       // i1: ports 0/1
+                vec![uop(1, &[2]), uop(1, &[0, 1])], // i2: two µops
+            ],
+        );
+        let mut exps = Vec::new();
+        let ids: Vec<InstId> = (0..3).map(InstId).collect();
+        for &i in &ids {
+            exps.push(Experiment::singleton(i));
+        }
+        for a in 0..3usize {
+            for b in (a + 1)..3 {
+                exps.push(Experiment::pair(ids[a], 1, ids[b], 1));
+                exps.push(Experiment::pair(ids[a], 1, ids[b], 2));
+                exps.push(Experiment::pair(ids[a], 2, ids[b], 1));
+            }
+        }
+        let measured: Vec<MeasuredExperiment> = exps
+            .into_iter()
+            .map(|e| {
+                let t = gt.throughput(&e);
+                MeasuredExperiment::new(e, t)
+            })
+            .collect();
+        let indiv: Vec<f64> = (0..3)
+            .map(|i| gt.throughput(&Experiment::singleton(InstId(i))))
+            .collect();
+        (gt, measured, indiv)
+    }
+
+    #[test]
+    fn recombination_preserves_item_count_and_validity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = ThreeLevelMapping::new(3, vec![vec![uop(2, &[0]), uop(1, &[1, 2])]]);
+        let b = ThreeLevelMapping::new(3, vec![vec![uop(3, &[2])]]);
+        for _ in 0..50 {
+            let (c1, c2) = recombine(&mut rng, &a, &b);
+            let items = |m: &ThreeLevelMapping| m.num_uops_of(InstId(0));
+            // Items may be duplicated only by the non-empty repair.
+            let total = items(&c1) + items(&c2);
+            assert!((6..=7).contains(&total), "item total {total}");
+            assert!(items(&c1) >= 1 && items(&c2) >= 1);
+        }
+    }
+
+    #[test]
+    fn evolution_fits_the_toy_ground_truth() {
+        let (_gt, measured, indiv) = toy_problem();
+        let config = EvoConfig {
+            population_size: 60,
+            max_generations: 40,
+            num_threads: 2,
+            seed: 7,
+            ..EvoConfig::default()
+        };
+        let result = evolve(3, 3, &measured, &indiv, &config);
+        assert!(
+            result.objectives.error < 0.05,
+            "evolved error {} too high",
+            result.objectives.error
+        );
+        assert!(result.generations >= 1);
+        assert_eq!(result.history.len() as u32, result.generations);
+    }
+
+    #[test]
+    fn history_best_error_is_monotone_nonincreasing() {
+        let (_gt, measured, indiv) = toy_problem();
+        let config = EvoConfig {
+            population_size: 30,
+            max_generations: 15,
+            num_threads: 1,
+            seed: 3,
+            ..EvoConfig::default()
+        };
+        let result = evolve(3, 3, &measured, &indiv, &config);
+        for w in result.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "best error increased: {w:?}");
+        }
+    }
+
+    #[test]
+    fn hill_climbing_fixes_a_wrong_multiplicity() {
+        let (gt, measured, _) = toy_problem();
+        // Perturb the ground truth: i0 gets 3 µops instead of 1.
+        let mut broken = gt.clone();
+        broken.set_decomposition(InstId(0), vec![uop(3, &[0])]);
+        let evaluator = FitnessEvaluator::new(&measured, 1);
+        let before = evaluator.evaluate(&broken);
+        let after = hill_climb(&mut broken, &evaluator, 5);
+        assert!(after.error < before.error);
+        assert!(after.error < 1e-9, "hill climbing should reach exactness");
+    }
+
+    #[test]
+    fn mutation_rate_zero_is_a_no_op() {
+        let (gt, ..) = toy_problem();
+        let mut m = gt.clone();
+        let mut rng = StdRng::seed_from_u64(5);
+        mutate(&mut rng, &mut m, 0.0);
+        assert_eq!(m, gt);
+        // And a rate of 1.0 changes something (with high probability).
+        let mut changed = false;
+        for seed in 0..8 {
+            let mut m2 = gt.clone();
+            let mut rng = StdRng::seed_from_u64(seed);
+            mutate(&mut rng, &mut m2, 1.0);
+            changed |= m2 != gt;
+        }
+        assert!(changed);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let (_gt, measured, indiv) = toy_problem();
+        let config = EvoConfig {
+            population_size: 20,
+            max_generations: 8,
+            num_threads: 3,
+            seed: 11,
+            ..EvoConfig::default()
+        };
+        let a = evolve(3, 3, &measured, &indiv, &config);
+        let b = evolve(3, 3, &measured, &indiv, &config);
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.history, b.history);
+    }
+}

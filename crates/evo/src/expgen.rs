@@ -1,0 +1,232 @@
+//! Experiment generation (paper §4.1).
+//!
+//! Three kinds of experiments are generated from an instruction universe:
+//!
+//! 1. a singleton `{i ↦ 1}` per instruction form, measuring its
+//!    individual throughput `t*(i)`;
+//! 2. an unweighted pair `{iA ↦ 1, iB ↦ 1}` per pair of forms;
+//! 3. a ratio pair `{iA ↦ 1, iB ↦ n}` with `n = ⌈t*(iA)/t*(iB)⌉` per
+//!    pair with `t*(iA) > t*(iB)`, which saturates the faster form's
+//!    ports enough to expose partial conflicts.
+
+use pmevo_core::{Experiment, InstId};
+
+/// Generates the experiment sets of paper §4.1.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_core::InstId;
+/// use pmevo_evo::ExperimentGenerator;
+///
+/// let ids = vec![InstId(0), InstId(1), InstId(2)];
+/// let gen = ExperimentGenerator::new(ids);
+/// assert_eq!(gen.singletons().len(), 3);
+/// // Individual throughputs: i0 twice as slow as i1 => ratio pair {i0, 2×i1}.
+/// let pairs = gen.pairs(&[2.0, 1.0, 1.0]);
+/// assert!(pairs.len() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentGenerator {
+    insts: Vec<InstId>,
+}
+
+impl ExperimentGenerator {
+    /// Creates a generator over the given instruction universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts` is empty or contains duplicates.
+    pub fn new(insts: Vec<InstId>) -> Self {
+        assert!(!insts.is_empty(), "empty instruction universe");
+        let mut sorted = insts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), insts.len(), "duplicate instruction ids");
+        ExperimentGenerator { insts }
+    }
+
+    /// The instruction universe.
+    pub fn insts(&self) -> &[InstId] {
+        &self.insts
+    }
+
+    /// Kind-1 experiments: one singleton per form, in universe order.
+    pub fn singletons(&self) -> Vec<Experiment> {
+        self.insts.iter().map(|&i| Experiment::singleton(i)).collect()
+    }
+
+    /// Kind-2 and kind-3 experiments, given the measured individual
+    /// throughputs (indexed like [`insts`](Self::insts)).
+    ///
+    /// Duplicate experiments (a ratio pair with `n = 1` coincides with
+    /// the plain pair) are emitted once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indiv_tp` has the wrong length or contains
+    /// non-positive values.
+    pub fn pairs(&self, indiv_tp: &[f64]) -> Vec<Experiment> {
+        assert_eq!(indiv_tp.len(), self.insts.len(), "throughput table size");
+        assert!(
+            indiv_tp.iter().all(|&t| t > 0.0),
+            "non-positive individual throughput"
+        );
+        let mut out = Vec::new();
+        for a in 0..self.insts.len() {
+            for b in (a + 1)..self.insts.len() {
+                let (ia, ib) = (self.insts[a], self.insts[b]);
+                out.push(Experiment::pair(ia, 1, ib, 1));
+                // Kind 3: saturate the faster instruction.
+                let (slow, fast, ts, tf) = if indiv_tp[a] > indiv_tp[b] {
+                    (ia, ib, indiv_tp[a], indiv_tp[b])
+                } else {
+                    (ib, ia, indiv_tp[b], indiv_tp[a])
+                };
+                if ts > tf {
+                    let n = (ts / tf).ceil() as u32;
+                    if n > 1 {
+                        out.push(Experiment::pair(slow, 1, fast, n));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The full experiment set: singletons followed by pairs.
+    pub fn all(&self, indiv_tp: &[f64]) -> Vec<Experiment> {
+        let mut out = self.singletons();
+        out.extend(self.pairs(indiv_tp));
+        out
+    }
+
+    /// Samples `count` random three-form experiments `{a↦1, b↦1, c↦1}`.
+    ///
+    /// Paper §4.1 notes that longer experiments can in theory unveil
+    /// resource conflicts the pair experiments cannot, but found no
+    /// quality benefit on real processors; this generator exists to
+    /// repeat that design-space exploration
+    /// ([`PipelineConfig::extra_triples`](crate::PipelineConfig)).
+    ///
+    /// Duplicates (within the sample and with fewer than 3 distinct
+    /// forms) are skipped, so fewer than `count` experiments may be
+    /// returned for tiny universes.
+    pub fn triples(&self, count: usize, seed: u64) -> Vec<Experiment> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::with_capacity(count);
+        let n = self.insts.len();
+        let mut attempts = 0usize;
+        while out.len() < count && attempts < count * 20 {
+            attempts += 1;
+            let mut picks = [0usize; 3];
+            for p in &mut picks {
+                *p = rng.gen_range(0..n);
+            }
+            picks.sort_unstable();
+            if picks[0] == picks[1] || picks[1] == picks[2] {
+                continue;
+            }
+            if seen.insert(picks) {
+                out.push(Experiment::from_counts(&[
+                    (self.insts[picks[0]], 1),
+                    (self.insts[picks[1]], 1),
+                    (self.insts[picks[2]], 1),
+                ]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u32) -> Vec<InstId> {
+        (0..n).map(InstId).collect()
+    }
+
+    #[test]
+    fn singleton_count_matches_universe() {
+        let g = ExperimentGenerator::new(ids(5));
+        let s = g.singletons();
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|e| e.total_insts() == 1));
+    }
+
+    #[test]
+    fn plain_pairs_cover_all_unordered_pairs() {
+        let g = ExperimentGenerator::new(ids(4));
+        let pairs = g.pairs(&[1.0; 4]);
+        // Equal throughputs: no ratio pairs, only C(4,2) = 6 plain pairs.
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.iter().all(|e| e.total_insts() == 2));
+    }
+
+    #[test]
+    fn ratio_pairs_use_ceiling_ratio() {
+        let g = ExperimentGenerator::new(ids(2));
+        // t(i0) = 2.5, t(i1) = 1 => n = ceil(2.5) = 3.
+        let pairs = g.pairs(&[2.5, 1.0]);
+        assert_eq!(pairs.len(), 2);
+        let ratio = &pairs[1];
+        assert_eq!(ratio.count_of(InstId(0)), 1);
+        assert_eq!(ratio.count_of(InstId(1)), 3);
+    }
+
+    #[test]
+    fn ratio_pair_with_n_equal_one_is_not_duplicated() {
+        let g = ExperimentGenerator::new(ids(2));
+        // Ratio 1.2 => n = 2; ratio 1.0 => no extra experiment.
+        assert_eq!(g.pairs(&[1.2, 1.0]).len(), 2);
+        assert_eq!(g.pairs(&[1.0, 1.0]).len(), 1);
+    }
+
+    #[test]
+    fn all_concatenates_singletons_and_pairs() {
+        let g = ExperimentGenerator::new(ids(3));
+        let all = g.all(&[1.0, 2.0, 4.0]);
+        // 3 singletons + 3 plain pairs + 3 ratio pairs.
+        assert_eq!(all.len(), 9);
+    }
+
+    #[test]
+    fn triples_are_distinct_and_sized() {
+        let g = ExperimentGenerator::new(ids(10));
+        let ts = g.triples(20, 5);
+        assert_eq!(ts.len(), 20);
+        for t in &ts {
+            assert_eq!(t.num_distinct(), 3);
+            assert_eq!(t.total_insts(), 3);
+        }
+        let mut dedup = ts.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ts.len(), "sampled duplicate triples");
+        // Deterministic under the seed.
+        assert_eq!(ts, g.triples(20, 5));
+    }
+
+    #[test]
+    fn triples_on_tiny_universe_saturate() {
+        let g = ExperimentGenerator::new(ids(3));
+        // Only one distinct triple exists.
+        assert_eq!(g.triples(10, 1).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_ids_panic() {
+        ExperimentGenerator::new(vec![InstId(0), InstId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn zero_throughput_panics() {
+        ExperimentGenerator::new(ids(2)).pairs(&[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,231 @@
+//! The two-objective fitness metric of paper §4.4.
+//!
+//! PMEvo minimizes the average relative prediction error `D_avg` and the
+//! µop volume `V` simultaneously. The multi-objective problem is
+//! scalarized a priori: each generation, both objectives are affinely
+//! normalized to `[0, 1000]` over the current selection pool and summed.
+
+use pmevo_core::{MeasuredExperiment, ThreeLevelMapping};
+
+/// The raw objective pair of one candidate mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Average relative prediction error `D_avg(m)`.
+    pub error: f64,
+    /// µop volume `V(m) = Σ n · |u|`.
+    pub volume: u64,
+}
+
+impl Objectives {
+    /// Lexicographic comparison used by the hill climber: smaller error
+    /// wins; ties (within `tol`) fall back to smaller volume.
+    pub fn better_than(&self, other: &Objectives, tol: f64) -> bool {
+        if self.error < other.error - tol {
+            true
+        } else if self.error <= other.error + tol {
+            self.volume < other.volume
+        } else {
+            false
+        }
+    }
+}
+
+/// Computes `D_avg(m)`: the mean of `|t*_m(e) − t| / t` over all measured
+/// experiments (paper §4.4).
+///
+/// # Panics
+///
+/// Panics if `experiments` is empty, contains non-positive measurements,
+/// or references instructions outside the mapping.
+pub fn average_relative_error(
+    mapping: &ThreeLevelMapping,
+    experiments: &[MeasuredExperiment],
+) -> f64 {
+    assert!(!experiments.is_empty(), "no experiments to evaluate");
+    let sum: f64 = experiments
+        .iter()
+        .map(|me| {
+            debug_assert!(me.throughput > 0.0, "non-positive measured throughput");
+            let predicted = mapping.throughput(&me.experiment);
+            (predicted - me.throughput).abs() / me.throughput
+        })
+        .sum();
+    sum / experiments.len() as f64
+}
+
+/// Evaluates the objectives of candidate mappings, in parallel across a
+/// configurable number of threads.
+#[derive(Debug)]
+pub struct FitnessEvaluator<'a> {
+    experiments: &'a [MeasuredExperiment],
+    num_threads: usize,
+}
+
+impl<'a> FitnessEvaluator<'a> {
+    /// Creates an evaluator over the measured experiment set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `experiments` is empty or `num_threads` is zero.
+    pub fn new(experiments: &'a [MeasuredExperiment], num_threads: usize) -> Self {
+        assert!(!experiments.is_empty(), "no experiments to evaluate");
+        assert!(num_threads > 0, "need at least one thread");
+        FitnessEvaluator {
+            experiments,
+            num_threads,
+        }
+    }
+
+    /// The experiment set evaluated against.
+    pub fn experiments(&self) -> &[MeasuredExperiment] {
+        self.experiments
+    }
+
+    /// Evaluates one mapping.
+    pub fn evaluate(&self, mapping: &ThreeLevelMapping) -> Objectives {
+        Objectives {
+            error: average_relative_error(mapping, self.experiments),
+            volume: mapping.volume(),
+        }
+    }
+
+    /// Evaluates a batch of mappings, splitting the batch across threads.
+    pub fn evaluate_batch(&self, mappings: &[ThreeLevelMapping]) -> Vec<Objectives> {
+        if mappings.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.num_threads.min(mappings.len());
+        if threads == 1 {
+            return mappings.iter().map(|m| self.evaluate(m)).collect();
+        }
+        let chunk = mappings.len().div_ceil(threads);
+        let mut out: Vec<Objectives> = Vec::with_capacity(mappings.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = mappings
+                .chunks(chunk)
+                .map(|ms| scope.spawn(move || ms.iter().map(|m| self.evaluate(m)).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("fitness worker panicked"));
+            }
+        });
+        out
+    }
+}
+
+/// Scalarizes a pool of objectives: both metrics are affinely mapped to
+/// `[0, 1000]` over the pool's extremes and summed (paper §4.4's
+/// `F(m) = Λ1(D_avg(m)) + Λ2(V(m))`). Degenerate ranges map to 0.
+pub fn scalarize(pool: &[Objectives]) -> Vec<f64> {
+    if pool.is_empty() {
+        return Vec::new();
+    }
+    let (mut lo_e, mut hi_e) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut lo_v, mut hi_v) = (u64::MAX, u64::MIN);
+    for o in pool {
+        lo_e = lo_e.min(o.error);
+        hi_e = hi_e.max(o.error);
+        lo_v = lo_v.min(o.volume);
+        hi_v = hi_v.max(o.volume);
+    }
+    let span_e = hi_e - lo_e;
+    let span_v = (hi_v - lo_v) as f64;
+    pool.iter()
+        .map(|o| {
+            let fe = if span_e > 0.0 {
+                1000.0 * (o.error - lo_e) / span_e
+            } else {
+                0.0
+            };
+            let fv = if span_v > 0.0 {
+                1000.0 * (o.volume - lo_v) as f64 / span_v
+            } else {
+                0.0
+            };
+            fe + fv
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmevo_core::{Experiment, InstId, PortSet, UopEntry};
+
+    fn mapping(entries: Vec<Vec<UopEntry>>) -> ThreeLevelMapping {
+        ThreeLevelMapping::new(4, entries)
+    }
+
+    fn uop(count: u32, ports: &[usize]) -> UopEntry {
+        UopEntry::new(count, PortSet::from_ports(ports))
+    }
+
+    #[test]
+    fn perfect_mapping_has_zero_error() {
+        let m = mapping(vec![vec![uop(1, &[0])]]);
+        let exps = vec![MeasuredExperiment::new(
+            Experiment::from_counts(&[(InstId(0), 3)]),
+            3.0,
+        )];
+        assert_eq!(average_relative_error(&m, &exps), 0.0);
+    }
+
+    #[test]
+    fn error_is_relative_to_measurement() {
+        let m = mapping(vec![vec![uop(1, &[0])]]); // predicts 1.0
+        let exps = vec![MeasuredExperiment::new(
+            Experiment::singleton(InstId(0)),
+            2.0, // measured 2.0 => |1-2|/2 = 0.5
+        )];
+        assert!((average_relative_error(&m, &exps) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_is_parallel_safe() {
+        let exps: Vec<MeasuredExperiment> = (1..5)
+            .map(|n| {
+                MeasuredExperiment::new(Experiment::from_counts(&[(InstId(0), n)]), f64::from(n))
+            })
+            .collect();
+        let ev = FitnessEvaluator::new(&exps, 4);
+        let ms: Vec<ThreeLevelMapping> = (1..=8)
+            .map(|c| mapping(vec![vec![uop(c, &[0])]]))
+            .collect();
+        let batch = ev.evaluate_batch(&ms);
+        for (m, o) in ms.iter().zip(&batch) {
+            assert_eq!(ev.evaluate(m).error, o.error);
+            assert_eq!(ev.evaluate(m).volume, o.volume);
+        }
+    }
+
+    #[test]
+    fn scalarization_normalizes_to_0_1000() {
+        let pool = vec![
+            Objectives { error: 0.0, volume: 10 },
+            Objectives { error: 1.0, volume: 0 },
+        ];
+        let f = scalarize(&pool);
+        // First: best error (0) + worst volume (1000); second: converse.
+        assert_eq!(f, vec![1000.0, 1000.0]);
+    }
+
+    #[test]
+    fn scalarization_handles_degenerate_pools() {
+        let pool = vec![
+            Objectives { error: 0.5, volume: 5 },
+            Objectives { error: 0.5, volume: 5 },
+        ];
+        assert_eq!(scalarize(&pool), vec![0.0, 0.0]);
+        assert!(scalarize(&[]).is_empty());
+    }
+
+    #[test]
+    fn better_than_is_lexicographic() {
+        let a = Objectives { error: 0.1, volume: 100 };
+        let b = Objectives { error: 0.2, volume: 1 };
+        assert!(a.better_than(&b, 1e-9));
+        let c = Objectives { error: 0.1, volume: 99 };
+        assert!(c.better_than(&a, 1e-9));
+        assert!(!a.better_than(&c, 1e-9));
+    }
+}

@@ -1,0 +1,27 @@
+//! The PMEvo inference engine (paper §4): experiment generation,
+//! congruence filtering, evolutionary optimization and local search.
+//!
+//! The stages mirror Figure 5 of the paper:
+//!
+//! ```text
+//! ISA ──► ExperimentGenerator ──► (measurement, external) ──►
+//!     CongruencePartition ──► evolve() + hill climbing ──► mapping
+//! ```
+//!
+//! [`pipeline::run`] wires all stages against a measurement function and
+//! reports the bookkeeping of paper Table 2 (benchmarking time, inference
+//! time, congruence ratio, distinct-µop count).
+
+pub mod congruence;
+pub mod evolution;
+pub mod expgen;
+pub mod fitness;
+pub mod pipeline;
+pub mod validate;
+
+pub use congruence::CongruencePartition;
+pub use evolution::{evolve, EvoConfig, EvoResult};
+pub use expgen::ExperimentGenerator;
+pub use fitness::{average_relative_error, FitnessEvaluator, Objectives};
+pub use pipeline::{run, PipelineConfig, PipelineResult};
+pub use validate::{validate, ValidationReport};

@@ -1,0 +1,303 @@
+//! The end-to-end PMEvo pipeline (paper Figure 5).
+//!
+//! Wires experiment generation → measurement → congruence filtering →
+//! evolutionary optimization, and records the bookkeeping reported in
+//! paper Table 2 (benchmarking time, inference time, fraction of
+//! congruent instructions, number of distinct µops).
+//!
+//! Measurement is abstracted as a *batch* closure
+//! `FnMut(&[Experiment]) -> Vec<f64>` so that callers can measure on a
+//! simulator (this workspace), on real hardware, or in parallel.
+
+use crate::congruence::CongruencePartition;
+use crate::evolution::{evolve, EvoConfig, EvoResult};
+use crate::expgen::ExperimentGenerator;
+use pmevo_core::{Experiment, InstId, MeasuredExperiment, ThreeLevelMapping};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Configuration of a full pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Symmetric-relative-difference bound ε for congruence filtering
+    /// (paper evaluation: 0.05).
+    pub epsilon: f64,
+    /// Set to `false` to skip congruence filtering (ablation); every
+    /// instruction becomes its own class.
+    pub congruence_filtering: bool,
+    /// Number of additional random three-form experiments to measure
+    /// and train on. The paper explored longer experiments and found no
+    /// quality benefit (§4.1); 0 (the default) reproduces the paper's
+    /// final design, non-zero values repeat the exploration.
+    pub extra_triples: usize,
+    /// Parameters of the evolutionary algorithm.
+    pub evo: EvoConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            epsilon: 0.05,
+            congruence_filtering: true,
+            extra_triples: 0,
+            evo: EvoConfig::default(),
+        }
+    }
+}
+
+/// Result of a pipeline run, including the Table 2 bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The inferred mapping, expanded to the full instruction universe
+    /// (every instruction carries its class representative's
+    /// decomposition).
+    pub mapping: ThreeLevelMapping,
+    /// Time spent measuring experiment throughputs.
+    pub benchmarking_time: Duration,
+    /// Time spent in congruence filtering + evolution + local search.
+    pub inference_time: Duration,
+    /// Fraction of instructions merged into another instruction's class.
+    pub congruent_fraction: f64,
+    /// Number of congruence classes (= instructions seen by evolution).
+    pub num_classes: usize,
+    /// Number of measured experiments (benchmark workload size).
+    pub num_experiments: usize,
+    /// The evolutionary algorithm's result on the representative
+    /// universe.
+    pub evo: EvoResult,
+}
+
+impl PipelineResult {
+    /// Number of distinct µops of the inferred mapping (paper Table 2).
+    pub fn num_distinct_uops(&self) -> usize {
+        self.mapping.num_distinct_uops()
+    }
+}
+
+/// Runs the full PMEvo pipeline on an instruction universe of
+/// `num_insts` forms (ids `0..num_insts`) over a machine with
+/// `num_ports` ports.
+///
+/// `measure_batch` receives experiments and must return one measured
+/// throughput (cycles per experiment instance) per experiment, in order.
+///
+/// # Panics
+///
+/// Panics if `num_insts == 0`, the measurement closure returns the wrong
+/// number of results, or measurements are not positive and finite.
+pub fn run(
+    num_insts: usize,
+    num_ports: usize,
+    mut measure_batch: impl FnMut(&[Experiment]) -> Vec<f64>,
+    config: &PipelineConfig,
+) -> PipelineResult {
+    assert!(num_insts > 0, "empty instruction universe");
+    let universe: Vec<InstId> = (0..num_insts as u32).map(InstId).collect();
+    let generator = ExperimentGenerator::new(universe.clone());
+
+    let mut measure = |exps: &[Experiment]| -> Vec<f64> {
+        let out = measure_batch(exps);
+        assert_eq!(out.len(), exps.len(), "measurement batch size mismatch");
+        for (e, &t) in exps.iter().zip(&out) {
+            assert!(t.is_finite() && t > 0.0, "bad measurement {t} for {e}");
+        }
+        out
+    };
+
+    // Stage 1+2: generate and measure experiments.
+    let bench_start = Instant::now();
+    let singletons = generator.singletons();
+    let indiv_tp = measure(&singletons);
+    let mut extra = generator.pairs(&indiv_tp);
+    if config.extra_triples > 0 {
+        extra.extend(generator.triples(config.extra_triples, config.evo.seed ^ 0x7319));
+    }
+    let extra_tp = measure(&extra);
+    let benchmarking_time = bench_start.elapsed();
+
+    let mut measured: Vec<MeasuredExperiment> = Vec::with_capacity(singletons.len() + extra.len());
+    for (e, t) in singletons.iter().cloned().zip(indiv_tp.iter().copied()) {
+        measured.push(MeasuredExperiment::new(e, t));
+    }
+    for (e, t) in extra.into_iter().zip(extra_tp) {
+        measured.push(MeasuredExperiment::new(e, t));
+    }
+    let num_experiments = measured.len();
+
+    // Stage 3: congruence filtering.
+    let infer_start = Instant::now();
+    let partition = if config.congruence_filtering {
+        CongruencePartition::compute(&universe, &measured, config.epsilon)
+    } else {
+        CongruencePartition::identity(&universe)
+    };
+    let reps = partition.representatives().to_vec();
+    let rep_index: HashMap<InstId, u32> = reps
+        .iter()
+        .enumerate()
+        .map(|(k, &id)| (id, k as u32))
+        .collect();
+
+    // Keep only experiments entirely over representatives; remap ids to
+    // the compact representative universe 0..k.
+    let rep_measured: Vec<MeasuredExperiment> = measured
+        .iter()
+        .filter(|me| me.experiment.iter().all(|(i, _)| rep_index.contains_key(&i)))
+        .map(|me| {
+            let exp = me.experiment.map_insts(|i| InstId(rep_index[&i]));
+            MeasuredExperiment::new(exp, me.throughput)
+        })
+        .collect();
+    let rep_indiv: Vec<f64> = reps
+        .iter()
+        .map(|&id| {
+            measured
+                .iter()
+                .find(|me| me.experiment.counts() == [(id, 1)])
+                .expect("singleton measured for every representative")
+                .throughput
+        })
+        .collect();
+
+    // Stage 4: evolutionary optimization on the representative universe.
+    let evo_result = evolve(reps.len(), num_ports, &rep_measured, &rep_indiv, &config.evo);
+
+    // Expand the representative mapping back to the full universe.
+    let full_decomp = universe
+        .iter()
+        .map(|&id| {
+            let rep = partition.representative(id);
+            evo_result
+                .mapping
+                .decomposition(InstId(rep_index[&rep]))
+                .to_vec()
+        })
+        .collect();
+    let mapping = ThreeLevelMapping::new(num_ports, full_decomp);
+    let inference_time = infer_start.elapsed();
+
+    PipelineResult {
+        mapping,
+        benchmarking_time,
+        inference_time,
+        congruent_fraction: partition.merged_fraction(),
+        num_classes: partition.num_classes(),
+        num_experiments,
+        evo: evo_result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmevo_core::{PortSet, UopEntry};
+
+    fn uop(count: u32, ports: &[usize]) -> UopEntry {
+        UopEntry::new(count, PortSet::from_ports(ports))
+    }
+
+    /// A 5-instruction ground truth with two congruent pairs.
+    fn toy_ground_truth() -> ThreeLevelMapping {
+        ThreeLevelMapping::new(
+            3,
+            vec![
+                vec![uop(1, &[0, 1])], // i0
+                vec![uop(1, &[0, 1])], // i1 (congruent to i0)
+                vec![uop(1, &[2])],    // i2
+                vec![uop(1, &[2])],    // i3 (congruent to i2)
+                vec![uop(2, &[0])],    // i4
+            ],
+        )
+    }
+
+    fn small_config() -> PipelineConfig {
+        PipelineConfig {
+            evo: EvoConfig {
+                population_size: 60,
+                max_generations: 30,
+                num_threads: 2,
+                seed: 99,
+                ..EvoConfig::default()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_recovers_toy_machine_behaviour() {
+        let gt = toy_ground_truth();
+        let result = run(
+            5,
+            3,
+            |exps| exps.iter().map(|e| gt.throughput(e)).collect(),
+            &small_config(),
+        );
+        // Congruence: 5 forms -> 3 classes.
+        assert_eq!(result.num_classes, 3);
+        assert!((result.congruent_fraction - 0.4).abs() < 1e-12);
+        // The inferred mapping explains the training data well.
+        assert!(
+            result.evo.objectives.error < 0.05,
+            "pipeline error {}",
+            result.evo.objectives.error
+        );
+        // Expanded mapping covers all 5 instructions and congruent forms
+        // share decompositions.
+        assert_eq!(result.mapping.num_insts(), 5);
+        assert_eq!(
+            result.mapping.decomposition(InstId(0)),
+            result.mapping.decomposition(InstId(1))
+        );
+        assert_eq!(
+            result.mapping.decomposition(InstId(2)),
+            result.mapping.decomposition(InstId(3))
+        );
+    }
+
+    #[test]
+    fn disabled_filtering_keeps_all_classes() {
+        let gt = toy_ground_truth();
+        let mut cfg = small_config();
+        cfg.congruence_filtering = false;
+        cfg.evo.max_generations = 5;
+        let result = run(5, 3, |exps| exps.iter().map(|e| gt.throughput(e)).collect(), &cfg);
+        assert_eq!(result.num_classes, 5);
+        assert_eq!(result.congruent_fraction, 0.0);
+    }
+
+    #[test]
+    fn bookkeeping_is_populated() {
+        let gt = toy_ground_truth();
+        let mut cfg = small_config();
+        cfg.evo.max_generations = 3;
+        let result = run(5, 3, |exps| exps.iter().map(|e| gt.throughput(e)).collect(), &cfg);
+        assert!(result.num_experiments >= 5 + 10);
+        assert!(result.num_distinct_uops() >= 1);
+        assert!(result.inference_time > Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn wrong_measurement_count_panics() {
+        run(2, 2, |_| vec![1.0], &small_config());
+    }
+
+    #[test]
+    fn extra_triples_extend_the_training_set() {
+        let gt = toy_ground_truth();
+        let mut base_cfg = small_config();
+        base_cfg.evo.max_generations = 2;
+        let mut triple_cfg = base_cfg.clone();
+        triple_cfg.extra_triples = 6;
+        let measure = |exps: &[Experiment]| -> Vec<f64> {
+            exps.iter().map(|e| gt.throughput(e)).collect()
+        };
+        let base = run(5, 3, measure, &base_cfg);
+        let with_triples = run(5, 3, measure, &triple_cfg);
+        assert_eq!(
+            with_triples.num_experiments,
+            base.num_experiments + 6,
+            "triples must be measured on top of singletons and pairs"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Behavioural validation of inferred mappings against a reference.
+//!
+//! Port mappings are not uniquely identified by throughputs (paper
+//! §4.4): structurally different mappings can be observationally
+//! equivalent. Validation therefore compares *predictions*, per
+//! instruction and on a probe set, instead of graph structure. On
+//! simulated platforms the reference is the hidden ground truth; on
+//! real hardware it can be a published mapping (e.g. uops.info).
+
+use pmevo_core::{Experiment, InstId, ThreeLevelMapping};
+
+/// Outcome of validating an inferred mapping against a reference.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Relative throughput difference per instruction (singleton
+    /// experiments), indexed by instruction id.
+    pub per_inst: Vec<f64>,
+    /// Mean relative difference over the probe experiments.
+    pub probe_disagreement: f64,
+    /// The `k` instructions with the largest singleton disagreement,
+    /// worst first.
+    pub worst: Vec<(InstId, f64)>,
+}
+
+impl ValidationReport {
+    /// Mean singleton disagreement.
+    pub fn mean_singleton_disagreement(&self) -> f64 {
+        self.per_inst.iter().sum::<f64>() / self.per_inst.len().max(1) as f64
+    }
+
+    /// Fraction of instructions whose singleton throughput matches the
+    /// reference within `tol` (relative).
+    pub fn fraction_matching(&self, tol: f64) -> f64 {
+        let ok = self.per_inst.iter().filter(|&&d| d <= tol).count();
+        ok as f64 / self.per_inst.len().max(1) as f64
+    }
+}
+
+/// Validates `inferred` against `reference` on singleton experiments
+/// and the given probe set.
+///
+/// # Panics
+///
+/// Panics if the mappings cover different instruction counts or the
+/// probe set references instructions outside them.
+pub fn validate(
+    inferred: &ThreeLevelMapping,
+    reference: &ThreeLevelMapping,
+    probes: &[Experiment],
+    worst_k: usize,
+) -> ValidationReport {
+    assert_eq!(
+        inferred.num_insts(),
+        reference.num_insts(),
+        "mapping universes differ"
+    );
+    let per_inst: Vec<f64> = (0..inferred.num_insts())
+        .map(|i| {
+            let e = Experiment::singleton(InstId(i as u32));
+            let a = inferred.throughput(&e);
+            let b = reference.throughput(&e);
+            (a - b).abs() / a.max(b).max(1e-12)
+        })
+        .collect();
+
+    let probe_disagreement = if probes.is_empty() {
+        0.0
+    } else {
+        probes
+            .iter()
+            .map(|e| {
+                let a = inferred.throughput(e);
+                let b = reference.throughput(e);
+                (a - b).abs() / a.max(b).max(1e-12)
+            })
+            .sum::<f64>()
+            / probes.len() as f64
+    };
+
+    let mut ranked: Vec<(InstId, f64)> = per_inst
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (InstId(i as u32), d))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite disagreements"));
+    ranked.truncate(worst_k);
+
+    ValidationReport {
+        per_inst,
+        probe_disagreement,
+        worst: ranked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmevo_core::{PortSet, UopEntry};
+
+    fn uop(count: u32, ports: &[usize]) -> UopEntry {
+        UopEntry::new(count, PortSet::from_ports(ports))
+    }
+
+    #[test]
+    fn identical_mappings_validate_perfectly() {
+        let m = ThreeLevelMapping::new(
+            2,
+            vec![vec![uop(1, &[0])], vec![uop(2, &[0, 1])]],
+        );
+        let probes = vec![Experiment::pair(InstId(0), 1, InstId(1), 1)];
+        let r = validate(&m, &m, &probes, 2);
+        assert_eq!(r.mean_singleton_disagreement(), 0.0);
+        assert_eq!(r.probe_disagreement, 0.0);
+        assert_eq!(r.fraction_matching(0.0), 1.0);
+    }
+
+    #[test]
+    fn structurally_different_but_equivalent_mappings_agree() {
+        // i0 as one µop on {0,1} vs two half-width µops on {0} and {1}:
+        // different structure, same singleton throughput (0.5 vs 1+1...).
+        // Use a genuinely equivalent pair instead: {0,1} vs {1,0}.
+        let a = ThreeLevelMapping::new(2, vec![vec![uop(1, &[0, 1])]]);
+        let b = ThreeLevelMapping::new(2, vec![vec![uop(1, &[1, 0])]]);
+        let r = validate(&a, &b, &[], 1);
+        assert_eq!(r.mean_singleton_disagreement(), 0.0);
+    }
+
+    #[test]
+    fn worst_offenders_are_ranked() {
+        let inferred = ThreeLevelMapping::new(
+            2,
+            vec![vec![uop(1, &[0])], vec![uop(4, &[0])]],
+        );
+        let reference = ThreeLevelMapping::new(
+            2,
+            vec![vec![uop(1, &[0])], vec![uop(1, &[0])]],
+        );
+        let r = validate(&inferred, &reference, &[], 2);
+        assert_eq!(r.worst[0].0, InstId(1));
+        assert!((r.worst[0].1 - 0.75).abs() < 1e-12); // |4-1|/4
+        assert_eq!(r.worst[1].1, 0.0);
+        assert_eq!(r.fraction_matching(0.1), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "universes differ")]
+    fn mismatched_universes_panic() {
+        let a = ThreeLevelMapping::new(1, vec![vec![uop(1, &[0])]]);
+        let b = ThreeLevelMapping::new(1, vec![]);
+        validate(&a, &b, &[], 1);
+    }
+}

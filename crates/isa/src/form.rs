@@ -1,0 +1,320 @@
+//! Instruction forms and instruction sets.
+
+use crate::operand::OperandKind;
+use pmevo_core::InstId;
+use std::fmt;
+
+/// Semantic execution class of an instruction form.
+///
+/// The machine model (crate `pmevo-machine`) assigns ground-truth µop
+/// decompositions and latencies per class (and width); PMEvo itself never
+/// sees this information — it only observes throughputs.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum OpClass {
+    /// Simple integer arithmetic/logic (add, sub, and, or, xor, cmp, ...).
+    IntAlu,
+    /// Integer shifts and rotates.
+    Shift,
+    /// Address-generation-like arithmetic (x86 `lea`).
+    Lea,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide (long-latency, blocking).
+    IntDiv,
+    /// Bit-test/bit-manipulation family (x86 `BTx`, popcnt, ...).
+    BitTest,
+    /// Conditional move / select.
+    CondMove,
+    /// Vector integer/float arithmetic.
+    VecAlu,
+    /// Vector multiply / FMA-like.
+    VecMul,
+    /// Vector divide / sqrt (long-latency, blocking).
+    VecDiv,
+    /// Vector permute/shuffle/pack.
+    Shuffle,
+    /// Scalar↔vector or int↔float conversions.
+    Convert,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+}
+
+impl OpClass {
+    /// All classes, for iteration in machine model tables.
+    pub const ALL: [OpClass; 14] = [
+        OpClass::IntAlu,
+        OpClass::Shift,
+        OpClass::Lea,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::BitTest,
+        OpClass::CondMove,
+        OpClass::VecAlu,
+        OpClass::VecMul,
+        OpClass::VecDiv,
+        OpClass::Shuffle,
+        OpClass::Convert,
+        OpClass::Load,
+        OpClass::Store,
+    ];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::Shift => "shift",
+            OpClass::Lea => "lea",
+            OpClass::IntMul => "int-mul",
+            OpClass::IntDiv => "int-div",
+            OpClass::BitTest => "bit-test",
+            OpClass::CondMove => "cond-move",
+            OpClass::VecAlu => "vec-alu",
+            OpClass::VecMul => "vec-mul",
+            OpClass::VecDiv => "vec-div",
+            OpClass::Shuffle => "shuffle",
+            OpClass::Convert => "convert",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An instruction form: a mnemonic with typed operand placeholders
+/// (paper §4.1).
+///
+/// `quirk` is an opaque micro-architectural variation index: forms of the
+/// same class that real hardware implements with slightly different µop
+/// decompositions (e.g. `add` vs `adc`, or the `BTx` family) carry
+/// different quirk values, which the machine model translates into
+/// distinct ground-truth decompositions. PMEvo never reads it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct InstructionForm {
+    /// Mnemonic plus operand-type suffix, e.g. `add_r64_r64`.
+    pub name: String,
+    /// Semantic execution class.
+    pub class: OpClass,
+    /// Typed operand placeholders, in operand order.
+    pub operands: Vec<OperandKind>,
+    /// Micro-architectural variation index within the class.
+    pub quirk: u8,
+}
+
+impl InstructionForm {
+    /// Creates a form.
+    pub fn new(
+        name: impl Into<String>,
+        class: OpClass,
+        operands: Vec<OperandKind>,
+        quirk: u8,
+    ) -> Self {
+        InstructionForm {
+            name: name.into(),
+            class,
+            operands,
+            quirk,
+        }
+    }
+
+    /// The widest operand width of the form in bits (64 if it has no
+    /// operands, which does not occur in practice).
+    pub fn max_width_bits(&self) -> u32 {
+        self.operands
+            .iter()
+            .map(|o| match o {
+                OperandKind::Reg { width, .. }
+                | OperandKind::Mem { width, .. }
+                | OperandKind::Imm { width } => width.bits(),
+            })
+            .max()
+            .unwrap_or(64)
+    }
+
+    /// Whether any operand is a memory operand.
+    pub fn has_mem_operand(&self) -> bool {
+        self.operands
+            .iter()
+            .any(|o| matches!(o, OperandKind::Mem { .. }))
+    }
+}
+
+impl fmt::Display for InstructionForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, op) in self.operands.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An ordered collection of instruction forms; the instruction universe of
+/// one inference run.
+///
+/// [`InstId`]s index into this set, tying the abstract core model to the
+/// concrete forms.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_isa::{InstructionForm, InstructionSet, OpClass, OperandKind, RegClass, Width};
+/// use pmevo_core::InstId;
+///
+/// let mut isa = InstructionSet::new("demo");
+/// let id = isa.push(InstructionForm::new(
+///     "add_r64_r64",
+///     OpClass::IntAlu,
+///     vec![
+///         OperandKind::reg_rw(RegClass::Gpr, Width::W64),
+///         OperandKind::reg_read(RegClass::Gpr, Width::W64),
+///     ],
+///     0,
+/// ));
+/// assert_eq!(id, InstId(0));
+/// assert_eq!(isa.form(id).class, OpClass::IntAlu);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InstructionSet {
+    name: String,
+    forms: Vec<InstructionForm>,
+}
+
+impl InstructionSet {
+    /// Creates an empty instruction set with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        InstructionSet {
+            name: name.into(),
+            forms: Vec::new(),
+        }
+    }
+
+    /// The display name (e.g. `"synthetic-x86-64"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a form and returns its id.
+    pub fn push(&mut self, form: InstructionForm) -> InstId {
+        let id = InstId(self.forms.len() as u32);
+        self.forms.push(form);
+        id
+    }
+
+    /// Number of forms.
+    pub fn len(&self) -> usize {
+        self.forms.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forms.is_empty()
+    }
+
+    /// The form with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn form(&self, id: InstId) -> &InstructionForm {
+        &self.forms[id.index()]
+    }
+
+    /// All forms, indexed by [`InstId`].
+    pub fn forms(&self) -> &[InstructionForm] {
+        &self.forms
+    }
+
+    /// Iterates over `(id, form)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (InstId, &InstructionForm)> {
+        self.forms
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (InstId(i as u32), f))
+    }
+
+    /// All instruction ids of the set.
+    pub fn ids(&self) -> impl Iterator<Item = InstId> {
+        (0..self.forms.len() as u32).map(InstId)
+    }
+
+    /// Looks up a form id by name (linear scan; test/diagnostic helper).
+    pub fn find(&self, name: &str) -> Option<InstId> {
+        self.forms
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| InstId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::{RegClass, Width};
+
+    fn demo_set() -> InstructionSet {
+        let mut isa = InstructionSet::new("demo");
+        isa.push(InstructionForm::new(
+            "add_r64_r64",
+            OpClass::IntAlu,
+            vec![
+                OperandKind::reg_rw(RegClass::Gpr, Width::W64),
+                OperandKind::reg_read(RegClass::Gpr, Width::W64),
+            ],
+            0,
+        ));
+        isa.push(InstructionForm::new(
+            "ld_r64_m64",
+            OpClass::Load,
+            vec![
+                OperandKind::reg_write(RegClass::Gpr, Width::W64),
+                OperandKind::Mem {
+                    width: Width::W64,
+                    access: crate::Access::Read,
+                },
+            ],
+            0,
+        ));
+        isa
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let isa = demo_set();
+        assert_eq!(isa.len(), 2);
+        assert!(!isa.is_empty());
+        assert_eq!(isa.find("ld_r64_m64"), Some(InstId(1)));
+        assert_eq!(isa.find("nope"), None);
+        assert_eq!(isa.form(InstId(0)).name, "add_r64_r64");
+        assert_eq!(isa.ids().count(), 2);
+        assert_eq!(isa.iter().count(), 2);
+        assert_eq!(isa.name(), "demo");
+    }
+
+    #[test]
+    fn form_metadata() {
+        let isa = demo_set();
+        assert!(!isa.form(InstId(0)).has_mem_operand());
+        assert!(isa.form(InstId(1)).has_mem_operand());
+        assert_eq!(isa.form(InstId(0)).max_width_bits(), 64);
+        assert_eq!(
+            isa.form(InstId(0)).to_string(),
+            "add_r64_r64(gpr64:rw, gpr64:r)"
+        );
+    }
+
+    #[test]
+    fn op_class_all_covers_display() {
+        for c in OpClass::ALL {
+            assert!(!c.to_string().is_empty());
+        }
+        assert_eq!(OpClass::ALL.len(), 14);
+    }
+}

@@ -1,0 +1,277 @@
+//! Operand vocabulary: register classes, widths, access modes.
+
+use std::fmt;
+
+/// Architectural register classes.
+///
+/// The paper's register allocator (§4.2) assigns "a register from the
+/// appropriate register class to each register operand"; classes never
+/// alias, so dependencies only arise within a class.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum RegClass {
+    /// General-purpose integer registers.
+    Gpr,
+    /// Vector/floating-point registers.
+    Vec,
+}
+
+impl RegClass {
+    /// All register classes, for iteration.
+    pub const ALL: [RegClass; 2] = [RegClass::Gpr, RegClass::Vec];
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Gpr => write!(f, "gpr"),
+            RegClass::Vec => write!(f, "vec"),
+        }
+    }
+}
+
+/// Operand widths in bits.
+///
+/// Sub-register widths (8/16 bit on x86) are excluded, mirroring the
+/// paper's instruction selection (§5.1.2: "all instruction variants that
+/// operate on subregisters" are dropped).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Width {
+    /// 32-bit operand.
+    W32,
+    /// 64-bit operand.
+    W64,
+    /// 128-bit vector operand.
+    W128,
+    /// 256-bit vector operand (AVX-like).
+    W256,
+}
+
+impl Width {
+    /// The width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::W32 => 32,
+            Width::W64 => 64,
+            Width::W128 => 128,
+            Width::W256 => 256,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// How an instruction accesses an operand placeholder.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Access {
+    /// Operand is only read.
+    Read,
+    /// Operand is only written.
+    Write,
+    /// Operand is read and written (e.g. two-operand x86 arithmetic).
+    ReadWrite,
+}
+
+impl Access {
+    /// Whether the operand is read.
+    pub fn is_read(self) -> bool {
+        matches!(self, Access::Read | Access::ReadWrite)
+    }
+
+    /// Whether the operand is written.
+    pub fn is_write(self) -> bool {
+        matches!(self, Access::Write | Access::ReadWrite)
+    }
+}
+
+/// A typed operand placeholder of an instruction form (paper §4.1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum OperandKind {
+    /// A register operand of the given class and width.
+    Reg {
+        /// Register class the operand draws from.
+        class: RegClass,
+        /// Operand width.
+        width: Width,
+        /// Read/write behaviour.
+        access: Access,
+    },
+    /// A memory operand (base register + constant offset, paper §4.2).
+    Mem {
+        /// Access width.
+        width: Width,
+        /// Read/write behaviour.
+        access: Access,
+    },
+    /// An immediate constant; never creates dependencies.
+    Imm {
+        /// Immediate width.
+        width: Width,
+    },
+}
+
+impl OperandKind {
+    /// Convenience constructor for a read register operand.
+    pub fn reg_read(class: RegClass, width: Width) -> Self {
+        OperandKind::Reg {
+            class,
+            width,
+            access: Access::Read,
+        }
+    }
+
+    /// Convenience constructor for a written register operand.
+    pub fn reg_write(class: RegClass, width: Width) -> Self {
+        OperandKind::Reg {
+            class,
+            width,
+            access: Access::Write,
+        }
+    }
+
+    /// Convenience constructor for a read-write register operand.
+    pub fn reg_rw(class: RegClass, width: Width) -> Self {
+        OperandKind::Reg {
+            class,
+            width,
+            access: Access::ReadWrite,
+        }
+    }
+}
+
+impl fmt::Display for OperandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperandKind::Reg {
+                class,
+                width,
+                access,
+            } => {
+                let a = match access {
+                    Access::Read => "r",
+                    Access::Write => "w",
+                    Access::ReadWrite => "rw",
+                };
+                write!(f, "{class}{width}:{a}")
+            }
+            OperandKind::Mem { width, access } => {
+                let a = match access {
+                    Access::Read => "r",
+                    Access::Write => "w",
+                    Access::ReadWrite => "rw",
+                };
+                write!(f, "mem{width}:{a}")
+            }
+            OperandKind::Imm { width } => write!(f, "imm{width}"),
+        }
+    }
+}
+
+/// A concrete architectural register, produced by register allocation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct Reg {
+    /// Register class.
+    pub class: RegClass,
+    /// Index within the class's register file.
+    pub index: u16,
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Gpr => write!(f, "r{}", self.index),
+            RegClass::Vec => write!(f, "v{}", self.index),
+        }
+    }
+}
+
+/// A concrete memory reference: base register plus constant offset.
+///
+/// The allocator keeps base registers dedicated and rotates offsets so that
+/// memory accesses of different instructions never alias (paper §4.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct MemRef {
+    /// Base-pointer register (always read, never written).
+    pub base: Reg,
+    /// Constant byte offset.
+    pub offset: u32,
+    /// Whether the access reads and/or writes memory.
+    pub access: Access,
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}+{}]", self.base, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_predicates() {
+        assert!(Access::Read.is_read());
+        assert!(!Access::Read.is_write());
+        assert!(Access::Write.is_write());
+        assert!(!Access::Write.is_read());
+        assert!(Access::ReadWrite.is_read() && Access::ReadWrite.is_write());
+    }
+
+    #[test]
+    fn widths_and_display() {
+        assert_eq!(Width::W32.bits(), 32);
+        assert_eq!(Width::W256.bits(), 256);
+        assert_eq!(Width::W64.to_string(), "64");
+        assert_eq!(RegClass::Gpr.to_string(), "gpr");
+        let op = OperandKind::reg_rw(RegClass::Gpr, Width::W64);
+        assert_eq!(op.to_string(), "gpr64:rw");
+        assert_eq!(
+            OperandKind::Mem {
+                width: Width::W128,
+                access: Access::Read
+            }
+            .to_string(),
+            "mem128:r"
+        );
+        assert_eq!(OperandKind::Imm { width: Width::W32 }.to_string(), "imm32");
+    }
+
+    #[test]
+    fn reg_and_memref_display() {
+        let r = Reg {
+            class: RegClass::Vec,
+            index: 7,
+        };
+        assert_eq!(r.to_string(), "v7");
+        let m = MemRef {
+            base: Reg {
+                class: RegClass::Gpr,
+                index: 0,
+            },
+            offset: 64,
+            access: Access::Read,
+        };
+        assert_eq!(m.to_string(), "[r0+64]");
+    }
+
+    #[test]
+    fn reg_class_all_is_exhaustive() {
+        assert_eq!(RegClass::ALL.len(), 2);
+    }
+}

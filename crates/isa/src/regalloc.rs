@@ -1,0 +1,346 @@
+//! The dependency-avoiding register allocator of paper §4.2.
+//!
+//! The measurement loops must be free of read-after-write dependencies so
+//! that the port mapping is the only throughput limiter. The paper's
+//! policy, implemented here:
+//!
+//! * **written** operands are instantiated with the *most recently read*
+//!   register of the class (its value has just been consumed, so the new
+//!   write cannot starve a pending reader), and
+//! * **read** operands with the *least recently written* register (the
+//!   producer is as far in the past as possible, so even long-latency
+//!   results have retired),
+//! * memory operands get a dedicated base register (never written) and one
+//!   of several rotating constant offsets, so memory accesses never alias.
+//!
+//! Write-after-read and write-after-write hazards are ignored: the
+//! processor's register management engine renames them away (paper §2).
+
+use crate::form::InstructionForm;
+use crate::loopgen::KernelInst;
+use crate::operand::{Access, MemRef, OperandKind, Reg, RegClass};
+use pmevo_core::InstId;
+
+/// Number of distinct memory offsets rotated through for memory operands.
+const NUM_MEM_OFFSETS: u32 = 8;
+/// Stride between rotating memory offsets, in bytes (a cache line).
+const MEM_OFFSET_STRIDE: u32 = 64;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RegState {
+    last_read: u64,
+    last_write: u64,
+}
+
+/// Register allocator state for one measurement loop.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_isa::{
+///     InstructionForm, OpClass, OperandKind, RegClass, RegisterAllocator, Width,
+/// };
+/// use pmevo_core::InstId;
+///
+/// let form = InstructionForm::new(
+///     "add",
+///     OpClass::IntAlu,
+///     vec![
+///         OperandKind::reg_write(RegClass::Gpr, Width::W64),
+///         OperandKind::reg_read(RegClass::Gpr, Width::W64),
+///     ],
+///     0,
+/// );
+/// let mut ra = RegisterAllocator::new(16, 16);
+/// let a = ra.instantiate(InstId(0), &form);
+/// let b = ra.instantiate(InstId(0), &form);
+/// // Consecutive instances read different registers.
+/// assert_ne!(a.reads[0], b.reads[0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegisterAllocator {
+    gpr: Vec<RegState>,
+    vec: Vec<RegState>,
+    /// Logical clock; incremented per processed operand.
+    time: u64,
+    /// Dedicated memory base pointer, excluded from the GPR pool.
+    base: Reg,
+    /// Rotating offset counter for memory operands.
+    next_offset: u32,
+}
+
+impl RegisterAllocator {
+    /// Creates an allocator with `num_gpr` general-purpose and `num_vec`
+    /// vector registers. One GPR is reserved as the memory base pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpr < 2` or `num_vec < 1`.
+    pub fn new(num_gpr: usize, num_vec: usize) -> Self {
+        assert!(num_gpr >= 2, "need at least 2 GPRs (one is the base pointer)");
+        assert!(num_vec >= 1, "need at least 1 vector register");
+        // Stagger initial timestamps so that ties rotate deterministically
+        // through the register file instead of always picking index 0.
+        let init = |n: usize| {
+            (0..n)
+                .map(|i| RegState {
+                    last_read: i as u64,
+                    last_write: i as u64,
+                })
+                .collect::<Vec<_>>()
+        };
+        let time = (num_gpr.max(num_vec) + 1) as u64;
+        RegisterAllocator {
+            gpr: init(num_gpr - 1),
+            vec: init(num_vec),
+            time,
+            base: Reg {
+                class: RegClass::Gpr,
+                index: (num_gpr - 1) as u16,
+            },
+            next_offset: 0,
+        }
+    }
+
+    /// The reserved memory base-pointer register.
+    pub fn base_pointer(&self) -> Reg {
+        self.base
+    }
+
+    fn pool(&mut self, class: RegClass) -> &mut Vec<RegState> {
+        match class {
+            RegClass::Gpr => &mut self.gpr,
+            RegClass::Vec => &mut self.vec,
+        }
+    }
+
+    /// Picks a register to read: least recently written, avoiding the
+    /// registers in `taken` (already used by this instruction).
+    fn pick_read(&mut self, class: RegClass, taken: &[Reg]) -> Reg {
+        let base = self.base;
+        let t = self.time;
+        self.time += 1;
+        let pool = self.pool(class);
+        let idx = pool
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                !taken.contains(&Reg {
+                    class,
+                    index: *i as u16,
+                })
+            })
+            .min_by_key(|(_, s)| (s.last_write, s.last_read))
+            .map(|(i, _)| i)
+            .expect("register pool exhausted by one instruction");
+        pool[idx].last_read = t;
+        debug_assert!(class != RegClass::Gpr || (idx as u16) != base.index);
+        Reg {
+            class,
+            index: idx as u16,
+        }
+    }
+
+    /// Picks a register to write: most recently read, avoiding `taken`.
+    fn pick_write(&mut self, class: RegClass, taken: &[Reg]) -> Reg {
+        let t = self.time;
+        self.time += 1;
+        let pool = self.pool(class);
+        let idx = pool
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                !taken.contains(&Reg {
+                    class,
+                    index: *i as u16,
+                })
+            })
+            .max_by_key(|(_, s)| (s.last_read, std::cmp::Reverse(s.last_write)))
+            .map(|(i, _)| i)
+            .expect("register pool exhausted by one instruction");
+        pool[idx].last_write = t;
+        Reg {
+            class,
+            index: idx as u16,
+        }
+    }
+
+    /// Instantiates one instruction form with concrete operands.
+    pub fn instantiate(&mut self, id: InstId, form: &InstructionForm) -> KernelInst {
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        let mut mem = None;
+        let mut taken: Vec<Reg> = Vec::new();
+        for op in &form.operands {
+            match *op {
+                OperandKind::Reg { class, access, .. } => match access {
+                    Access::Read => {
+                        let r = self.pick_read(class, &taken);
+                        taken.push(r);
+                        reads.push(r);
+                    }
+                    Access::Write => {
+                        let r = self.pick_write(class, &taken);
+                        taken.push(r);
+                        writes.push(r);
+                    }
+                    Access::ReadWrite => {
+                        // The read side dominates the dependency structure:
+                        // pick least recently written, then mark both.
+                        let r = self.pick_read(class, &taken);
+                        let t = self.time;
+                        self.time += 1;
+                        let pool = self.pool(class);
+                        pool[r.index as usize].last_write = t;
+                        taken.push(r);
+                        reads.push(r);
+                        writes.push(r);
+                    }
+                },
+                OperandKind::Mem { access, .. } => {
+                    let offset = (self.next_offset % NUM_MEM_OFFSETS) * MEM_OFFSET_STRIDE;
+                    self.next_offset += 1;
+                    reads.push(self.base);
+                    mem = Some(MemRef {
+                        base: self.base,
+                        offset,
+                        access,
+                    });
+                }
+                OperandKind::Imm { .. } => {}
+            }
+        }
+        KernelInst {
+            inst: id,
+            reads,
+            writes,
+            mem,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::form::OpClass;
+    use crate::operand::Width;
+
+    fn rw_form() -> InstructionForm {
+        InstructionForm::new(
+            "add",
+            OpClass::IntAlu,
+            vec![
+                OperandKind::reg_rw(RegClass::Gpr, Width::W64),
+                OperandKind::reg_read(RegClass::Gpr, Width::W64),
+            ],
+            0,
+        )
+    }
+
+    fn w_r_form() -> InstructionForm {
+        InstructionForm::new(
+            "mov",
+            OpClass::IntAlu,
+            vec![
+                OperandKind::reg_write(RegClass::Gpr, Width::W64),
+                OperandKind::reg_read(RegClass::Gpr, Width::W64),
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn reads_rotate_through_the_register_file() {
+        let mut ra = RegisterAllocator::new(9, 4);
+        let form = w_r_form();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let inst = ra.instantiate(InstId(0), &form);
+            seen.insert(inst.reads[0]);
+        }
+        // 8 allocatable GPRs (one reserved as base): all get used.
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn dependence_distance_is_maximal() {
+        // With n allocatable registers, a read must never name a register
+        // written in the previous floor(n/2) instructions (generous bound).
+        let mut ra = RegisterAllocator::new(9, 4);
+        let form = w_r_form();
+        let mut history: Vec<KernelInst> = Vec::new();
+        for _ in 0..64 {
+            let inst = ra.instantiate(InstId(0), &form);
+            for recent in history.iter().rev().take(4) {
+                for r in &inst.reads {
+                    assert!(
+                        !recent.writes.contains(r),
+                        "read {r} too close to its writer"
+                    );
+                }
+            }
+            history.push(inst);
+        }
+    }
+
+    #[test]
+    fn rw_operand_is_read_and_written_same_register() {
+        let mut ra = RegisterAllocator::new(4, 1);
+        let inst = ra.instantiate(InstId(0), &rw_form());
+        assert_eq!(inst.writes.len(), 1);
+        assert_eq!(inst.reads.len(), 2);
+        assert!(inst.reads.contains(&inst.writes[0]));
+    }
+
+    #[test]
+    fn operands_within_an_instruction_are_distinct() {
+        let mut ra = RegisterAllocator::new(4, 1);
+        for _ in 0..16 {
+            let inst = ra.instantiate(InstId(0), &rw_form());
+            assert_ne!(inst.reads[0], inst.reads[1]);
+        }
+    }
+
+    #[test]
+    fn memory_operands_use_base_and_rotate_offsets() {
+        let mut ra = RegisterAllocator::new(4, 1);
+        let form = InstructionForm::new(
+            "load",
+            OpClass::Load,
+            vec![
+                OperandKind::reg_write(RegClass::Gpr, Width::W64),
+                OperandKind::Mem {
+                    width: Width::W64,
+                    access: Access::Read,
+                },
+            ],
+            0,
+        );
+        let a = ra.instantiate(InstId(0), &form);
+        let b = ra.instantiate(InstId(0), &form);
+        let (ma, mb) = (a.mem.unwrap(), b.mem.unwrap());
+        assert_eq!(ma.base, ra.base_pointer());
+        assert_ne!(ma.offset, mb.offset);
+        // The base pointer is read but never written.
+        assert!(a.reads.contains(&ra.base_pointer()));
+        assert!(!a.writes.contains(&ra.base_pointer()));
+    }
+
+    #[test]
+    fn base_pointer_never_allocated() {
+        let mut ra = RegisterAllocator::new(3, 1);
+        let form = rw_form();
+        for _ in 0..32 {
+            let inst = ra.instantiate(InstId(0), &form);
+            for r in inst.reads.iter().chain(&inst.writes) {
+                assert_ne!(*r, ra.base_pointer());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 GPRs")]
+    fn too_few_gprs_panics() {
+        RegisterAllocator::new(1, 1);
+    }
+}

@@ -1,0 +1,593 @@
+//! Synthetic instruction sets standing in for the paper's SPEC-derived
+//! form lists (§5.1.2: 310 x86-64 forms, 390 ARMv8-A forms).
+//!
+//! The generators are deterministic: they enumerate realistic mnemonic ×
+//! width × operand-shape combinations per [`OpClass`] and pad with alias
+//! forms (distinct mnemonics implemented identically, as real ISAs have in
+//! abundance) to hit the paper's exact form counts. Aliases are realistic
+//! *and* useful: they exercise PMEvo's congruence filtering the same way
+//! the paper's instruction sets do.
+
+use crate::form::{InstructionForm, InstructionSet, OpClass};
+use crate::operand::{Access, OperandKind, RegClass, Width};
+
+/// Number of x86-64 instruction forms used in the paper's evaluation.
+pub const NUM_X86_FORMS: usize = 310;
+/// Number of ARMv8-A instruction forms used in the paper's evaluation.
+pub const NUM_ARM_FORMS: usize = 390;
+
+fn r(class: RegClass, width: Width) -> OperandKind {
+    OperandKind::reg_read(class, width)
+}
+
+fn w(class: RegClass, width: Width) -> OperandKind {
+    OperandKind::reg_write(class, width)
+}
+
+fn rw(class: RegClass, width: Width) -> OperandKind {
+    OperandKind::reg_rw(class, width)
+}
+
+fn imm(width: Width) -> OperandKind {
+    OperandKind::Imm { width }
+}
+
+fn mem(width: Width, access: Access) -> OperandKind {
+    OperandKind::Mem { width, access }
+}
+
+fn form_name(mnemonic: &str, operands: &[OperandKind]) -> String {
+    let mut name = mnemonic.to_string();
+    for op in operands {
+        name.push('_');
+        let part = match op {
+            OperandKind::Reg { class, width, .. } => match class {
+                RegClass::Gpr => format!("r{}", width.bits()),
+                RegClass::Vec => format!("v{}", width.bits()),
+            },
+            OperandKind::Mem { width, .. } => format!("m{}", width.bits()),
+            OperandKind::Imm { width } => format!("i{}", width.bits()),
+        };
+        name.push_str(&part);
+    }
+    name
+}
+
+fn push(isa: &mut InstructionSet, mnemonic: &str, class: OpClass, ops: Vec<OperandKind>, quirk: u8) {
+    let name = form_name(mnemonic, &ops);
+    isa.push(InstructionForm::new(name, class, ops, quirk));
+}
+
+/// Pads `isa` with alias forms of simple register-register arithmetic
+/// until it has exactly `target` forms, or truncates excess (never needed
+/// for the built-in generators; asserted in tests).
+fn pad_to(isa: &mut InstructionSet, target: usize, class: OpClass, reg_class: RegClass) {
+    let mut i = 0usize;
+    while isa.len() < target {
+        let width = if i.is_multiple_of(2) { Width::W64 } else { Width::W32 };
+        let ops = vec![rw(reg_class, width), r(reg_class, width)];
+        push(isa, &format!("alias{i}"), class, ops, 0);
+        i += 1;
+    }
+    assert!(
+        isa.len() == target,
+        "generator overshot: {} > {target} forms",
+        isa.len()
+    );
+}
+
+/// The synthetic x86-64-like instruction set (exactly [`NUM_X86_FORMS`]
+/// forms).
+///
+/// Covers the classes the paper's SPEC-derived x86 set contains: scalar
+/// ALU (register and memory-source variants), shifts, `lea`, multiplies,
+/// long-latency divides, the `BTx` bit-test family, conditional moves,
+/// SSE/AVX-like vector arithmetic at 128/256 bit, shuffles, conversions,
+/// loads and stores.
+pub fn synthetic_x86() -> InstructionSet {
+    use OpClass::*;
+    use RegClass::{Gpr, Vec as V};
+    use Width::{W128, W256, W32, W64};
+
+    let mut isa = InstructionSet::new("synthetic-x86-64");
+    let gw = [W32, W64];
+    let vw = [W128, W256];
+
+    // Scalar ALU: two-operand rr and ri forms.
+    for m in ["add", "sub", "and", "or", "xor", "cmp", "test", "mov"] {
+        for &wd in &gw {
+            push(&mut isa, m, IntAlu, vec![rw(Gpr, wd), r(Gpr, wd)], 0);
+            push(&mut isa, m, IntAlu, vec![rw(Gpr, wd), imm(W32)], 0);
+        }
+    }
+    // One-operand ALU.
+    for m in ["inc", "dec", "neg", "not"] {
+        for &wd in &gw {
+            push(&mut isa, m, IntAlu, vec![rw(Gpr, wd)], 0);
+        }
+    }
+    // Carry-using ALU: separate µop flavour on most machines.
+    for m in ["adc", "sbb"] {
+        for &wd in &gw {
+            push(&mut isa, m, IntAlu, vec![rw(Gpr, wd), r(Gpr, wd)], 1);
+        }
+    }
+    // ALU with memory source: decomposes into load + ALU µop.
+    for m in ["add", "sub", "and", "or", "xor", "cmp"] {
+        for &wd in &gw {
+            push(
+                &mut isa,
+                m,
+                IntAlu,
+                vec![rw(Gpr, wd), mem(wd, Access::Read)],
+                0,
+            );
+        }
+    }
+
+    // Shifts.
+    for m in ["shl", "shr", "sar", "rol", "ror"] {
+        for &wd in &gw {
+            push(&mut isa, m, Shift, vec![rw(Gpr, wd), imm(W32)], 0);
+        }
+    }
+    for m in ["shld", "shrd"] {
+        for &wd in &gw {
+            push(
+                &mut isa,
+                m,
+                Shift,
+                vec![rw(Gpr, wd), r(Gpr, wd), imm(W32)],
+                1,
+            );
+        }
+    }
+
+    // lea: simple (quirk 0) and complex addressing (quirk 1).
+    for &wd in &gw {
+        push(&mut isa, "lea", Lea, vec![w(Gpr, wd), r(Gpr, W64)], 0);
+        push(
+            &mut isa,
+            "lea3",
+            Lea,
+            vec![w(Gpr, wd), r(Gpr, W64), r(Gpr, W64)],
+            1,
+        );
+    }
+
+    // Integer multiply.
+    for &wd in &gw {
+        push(&mut isa, "imul", IntMul, vec![rw(Gpr, wd), r(Gpr, wd)], 0);
+        push(
+            &mut isa,
+            "imul3",
+            IntMul,
+            vec![w(Gpr, wd), r(Gpr, wd), imm(W32)],
+            0,
+        );
+        push(&mut isa, "mulhi", IntMul, vec![rw(Gpr, wd), r(Gpr, wd)], 1);
+    }
+
+    // Integer divide: long-latency blocking operations.
+    for m in ["div", "idiv"] {
+        for &wd in &gw {
+            push(&mut isa, m, IntDiv, vec![rw(Gpr, wd), r(Gpr, wd)], 0);
+        }
+    }
+
+    // Bit test family (the paper's BTx outlier cluster) and bit counts.
+    for (q, m) in ["bt", "btc", "btr", "bts"].iter().enumerate() {
+        for &wd in &gw {
+            push(&mut isa, m, BitTest, vec![rw(Gpr, wd), imm(W32)], q as u8);
+        }
+    }
+    for m in ["popcnt", "lzcnt", "tzcnt"] {
+        for &wd in &gw {
+            push(&mut isa, m, BitTest, vec![w(Gpr, wd), r(Gpr, wd)], 4);
+        }
+    }
+
+    // Conditional moves.
+    for m in ["cmove", "cmovne", "cmovl", "cmovg"] {
+        for &wd in &gw {
+            push(&mut isa, m, CondMove, vec![rw(Gpr, wd), r(Gpr, wd)], 0);
+        }
+    }
+
+    // Vector ALU.
+    for m in [
+        "paddb", "paddw", "paddd", "paddq", "psubb", "psubw", "psubd", "psubq", "pand", "por",
+        "pxor", "pcmpeqd", "pminsd", "pmaxsd", "addps", "addpd", "subps", "subpd",
+    ] {
+        for &wd in &vw {
+            push(&mut isa, m, VecAlu, vec![w(V, wd), r(V, wd), r(V, wd)], 0);
+        }
+    }
+    // Vector multiply / FMA.
+    for (q, m) in [
+        "pmulld", "pmullw", "mulps", "mulpd", "fmadd213ps", "fmadd213pd",
+    ]
+    .iter()
+    .enumerate()
+    {
+        for &wd in &vw {
+            push(
+                &mut isa,
+                m,
+                VecMul,
+                vec![rw(V, wd), r(V, wd), r(V, wd)],
+                (q >= 4) as u8,
+            );
+        }
+    }
+    // Vector divide / sqrt.
+    for (q, m) in ["divps", "divpd", "sqrtps", "sqrtpd"].iter().enumerate() {
+        for &wd in &vw {
+            push(&mut isa, m, VecDiv, vec![w(V, wd), r(V, wd)], q as u8 / 2);
+        }
+    }
+    // Shuffles.
+    for m in [
+        "pshufd",
+        "pshufb",
+        "punpcklbw",
+        "punpckhbw",
+        "palignr",
+        "pblendw",
+        "permilps",
+        "unpcklps",
+    ] {
+        for &wd in &vw {
+            push(&mut isa, m, Shuffle, vec![w(V, wd), r(V, wd), r(V, wd)], 0);
+        }
+    }
+    // Conversions.
+    for m in ["cvtdq2ps", "cvtps2dq", "cvtpd2ps", "cvtps2pd"] {
+        for &wd in &vw {
+            push(&mut isa, m, Convert, vec![w(V, wd), r(V, wd)], 0);
+        }
+    }
+    push(&mut isa, "cvtsi2ss", Convert, vec![w(V, W128), r(Gpr, W64)], 1);
+    push(&mut isa, "cvtsi2sd", Convert, vec![w(V, W128), r(Gpr, W64)], 1);
+    push(&mut isa, "cvtss2si", Convert, vec![w(Gpr, W64), r(V, W128)], 1);
+    push(&mut isa, "cvtsd2si", Convert, vec![w(Gpr, W64), r(V, W128)], 1);
+
+    // Loads.
+    for &wd in &gw {
+        push(&mut isa, "mov", Load, vec![w(Gpr, wd), mem(wd, Access::Read)], 0);
+        push(
+            &mut isa,
+            "movzx",
+            Load,
+            vec![w(Gpr, wd), mem(W32, Access::Read)],
+            0,
+        );
+    }
+    for m in ["movups", "movaps", "movdqu"] {
+        for &wd in &vw {
+            push(&mut isa, m, Load, vec![w(V, wd), mem(wd, Access::Read)], 0);
+        }
+    }
+    // Stores.
+    for &wd in &gw {
+        push(
+            &mut isa,
+            "mov",
+            Store,
+            vec![mem(wd, Access::Write), r(Gpr, wd)],
+            0,
+        );
+    }
+    for m in ["movups", "movaps", "movdqu"] {
+        for &wd in &vw {
+            push(&mut isa, m, Store, vec![mem(wd, Access::Write), r(V, wd)], 0);
+        }
+    }
+
+    pad_to(&mut isa, NUM_X86_FORMS, IntAlu, Gpr);
+    isa
+}
+
+/// The synthetic ARMv8-A-like instruction set (exactly [`NUM_ARM_FORMS`]
+/// forms): three-operand scalar arithmetic, shifted-operand variants,
+/// multiply/multiply-accumulate, divides, NEON vector operations at
+/// 128 bit, loads and stores.
+pub fn synthetic_arm() -> InstructionSet {
+    use OpClass::*;
+    use RegClass::{Gpr, Vec as V};
+    use Width::{W128, W32, W64};
+
+    let mut isa = InstructionSet::new("synthetic-armv8");
+    let gw = [W32, W64];
+
+    // Three-operand scalar ALU, register and immediate forms.
+    for m in [
+        "add", "sub", "and", "orr", "eor", "bic", "orn", "eon", "adds", "subs", "ands",
+    ] {
+        for &wd in &gw {
+            push(
+                &mut isa,
+                m,
+                IntAlu,
+                vec![w(Gpr, wd), r(Gpr, wd), r(Gpr, wd)],
+                0,
+            );
+            push(&mut isa, m, IntAlu, vec![w(Gpr, wd), r(Gpr, wd), imm(W32)], 0);
+        }
+    }
+    // Shifted-register variants occupy the shifter: distinct quirk.
+    for m in ["add_lsl", "sub_lsl", "and_lsl", "orr_lsl"] {
+        for &wd in &gw {
+            push(
+                &mut isa,
+                m,
+                IntAlu,
+                vec![w(Gpr, wd), r(Gpr, wd), r(Gpr, wd)],
+                1,
+            );
+        }
+    }
+    // Moves and move-wide.
+    for m in ["mov", "mvn", "movz", "movk", "movn"] {
+        for &wd in &gw {
+            push(&mut isa, m, IntAlu, vec![w(Gpr, wd), imm(W32)], 0);
+        }
+    }
+    // Shifts.
+    for m in ["lsl", "lsr", "asr", "ror"] {
+        for &wd in &gw {
+            push(&mut isa, m, Shift, vec![w(Gpr, wd), r(Gpr, wd), r(Gpr, wd)], 0);
+            push(&mut isa, m, Shift, vec![w(Gpr, wd), r(Gpr, wd), imm(W32)], 0);
+        }
+    }
+    // Bitfield / extract (shifter pipe).
+    for m in ["ubfm", "sbfm", "extr", "rbit", "rev", "clz"] {
+        for &wd in &gw {
+            push(&mut isa, m, BitTest, vec![w(Gpr, wd), r(Gpr, wd)], 0);
+        }
+    }
+    // Address-like arithmetic.
+    for &wd in &gw {
+        push(&mut isa, "adr", Lea, vec![w(Gpr, wd), imm(W32)], 0);
+        push(&mut isa, "adrp", Lea, vec![w(Gpr, wd), imm(W32)], 0);
+    }
+    // Multiplies and multiply-accumulate.
+    for m in ["mul", "mneg"] {
+        for &wd in &gw {
+            push(&mut isa, m, IntMul, vec![w(Gpr, wd), r(Gpr, wd), r(Gpr, wd)], 0);
+        }
+    }
+    for m in ["madd", "msub"] {
+        for &wd in &gw {
+            push(
+                &mut isa,
+                m,
+                IntMul,
+                vec![w(Gpr, wd), r(Gpr, wd), r(Gpr, wd), r(Gpr, wd)],
+                1,
+            );
+        }
+    }
+    push(
+        &mut isa,
+        "smulh",
+        IntMul,
+        vec![w(Gpr, W64), r(Gpr, W64), r(Gpr, W64)],
+        1,
+    );
+    push(
+        &mut isa,
+        "umulh",
+        IntMul,
+        vec![w(Gpr, W64), r(Gpr, W64), r(Gpr, W64)],
+        1,
+    );
+    // Divides.
+    for m in ["sdiv", "udiv"] {
+        for &wd in &gw {
+            push(&mut isa, m, IntDiv, vec![w(Gpr, wd), r(Gpr, wd), r(Gpr, wd)], 0);
+        }
+    }
+    // Conditional select family.
+    for m in ["csel", "csinc", "csinv", "csneg"] {
+        for &wd in &gw {
+            push(
+                &mut isa,
+                m,
+                CondMove,
+                vec![w(Gpr, wd), r(Gpr, wd), r(Gpr, wd)],
+                0,
+            );
+        }
+    }
+
+    // NEON vector ALU (128-bit with element-size suffixes).
+    for m in [
+        "add_8b", "add_16b", "add_4h", "add_8h", "add_4s", "add_2d", "sub_8b", "sub_16b",
+        "sub_4h", "sub_8h", "sub_4s", "sub_2d", "and_v", "orr_v", "eor_v", "bic_v", "cmeq_4s",
+        "cmgt_4s", "smin_4s", "smax_4s", "fadd_4s", "fadd_2d", "fsub_4s", "fsub_2d", "fabs_4s",
+        "fneg_4s",
+    ] {
+        push(&mut isa, m, VecAlu, vec![w(V, W128), r(V, W128), r(V, W128)], 0);
+    }
+    // NEON multiplies / FMA.
+    for (q, m) in [
+        "mul_4s", "mul_8h", "fmul_4s", "fmul_2d", "fmla_4s", "fmla_2d", "sqdmulh_4s",
+    ]
+    .iter()
+    .enumerate()
+    {
+        push(
+            &mut isa,
+            m,
+            VecMul,
+            vec![rw(V, W128), r(V, W128), r(V, W128)],
+            (q >= 4) as u8,
+        );
+    }
+    // NEON divide/sqrt.
+    for (q, m) in ["fdiv_4s", "fdiv_2d", "fsqrt_4s", "fsqrt_2d"].iter().enumerate() {
+        push(&mut isa, m, VecDiv, vec![w(V, W128), r(V, W128)], q as u8 / 2);
+    }
+    // Permutes.
+    for m in [
+        "zip1", "zip2", "uzp1", "uzp2", "trn1", "trn2", "tbl", "ext", "rev64_v", "dup_4s",
+    ] {
+        push(&mut isa, m, Shuffle, vec![w(V, W128), r(V, W128), r(V, W128)], 0);
+    }
+    // Conversions.
+    for m in ["scvtf_4s", "ucvtf_4s", "fcvtzs_4s", "fcvtzu_4s", "fcvtn", "fcvtl"] {
+        push(&mut isa, m, Convert, vec![w(V, W128), r(V, W128)], 0);
+    }
+    for m in ["scvtf", "ucvtf"] {
+        for &wd in &gw {
+            push(&mut isa, m, Convert, vec![w(V, W128), r(Gpr, wd)], 1);
+        }
+    }
+    for m in ["fcvtzs", "fcvtzu"] {
+        for &wd in &gw {
+            push(&mut isa, m, Convert, vec![w(Gpr, wd), r(V, W128)], 1);
+        }
+    }
+
+    // Loads and stores (scalar and vector).
+    for m in ["ldr", "ldur"] {
+        for &wd in &gw {
+            push(&mut isa, m, Load, vec![w(Gpr, wd), mem(wd, Access::Read)], 0);
+        }
+    }
+    push(&mut isa, "ldr_q", Load, vec![w(V, W128), mem(W128, Access::Read)], 0);
+    push(&mut isa, "ldur_q", Load, vec![w(V, W128), mem(W128, Access::Read)], 0);
+    for m in ["str", "stur"] {
+        for &wd in &gw {
+            push(&mut isa, m, Store, vec![mem(wd, Access::Write), r(Gpr, wd)], 0);
+        }
+    }
+    push(
+        &mut isa,
+        "str_q",
+        Store,
+        vec![mem(W128, Access::Write), r(V, W128)],
+        0,
+    );
+
+    pad_to(&mut isa, NUM_ARM_FORMS, IntAlu, Gpr);
+    isa
+}
+
+/// A six-instruction toy ISA for unit tests and the quickstart example:
+/// add, mul, div, load, store and a vector op.
+pub fn tiny_isa() -> InstructionSet {
+    use OpClass::*;
+    use RegClass::{Gpr, Vec as V};
+    use Width::{W128, W64};
+
+    let mut isa = InstructionSet::new("tiny");
+    push(
+        &mut isa,
+        "add",
+        IntAlu,
+        vec![w(Gpr, W64), r(Gpr, W64), r(Gpr, W64)],
+        0,
+    );
+    push(
+        &mut isa,
+        "mul",
+        IntMul,
+        vec![w(Gpr, W64), r(Gpr, W64), r(Gpr, W64)],
+        0,
+    );
+    push(&mut isa, "div", IntDiv, vec![w(Gpr, W64), r(Gpr, W64)], 0);
+    push(&mut isa, "load", Load, vec![w(Gpr, W64), mem(W64, Access::Read)], 0);
+    push(
+        &mut isa,
+        "store",
+        Store,
+        vec![mem(W64, Access::Write), r(Gpr, W64)],
+        0,
+    );
+    push(
+        &mut isa,
+        "vadd",
+        VecAlu,
+        vec![w(V, W128), r(V, W128), r(V, W128)],
+        0,
+    );
+    isa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn x86_has_exactly_310_forms() {
+        let isa = synthetic_x86();
+        assert_eq!(isa.len(), NUM_X86_FORMS);
+    }
+
+    #[test]
+    fn arm_has_exactly_390_forms() {
+        let isa = synthetic_arm();
+        assert_eq!(isa.len(), NUM_ARM_FORMS);
+    }
+
+    #[test]
+    fn form_names_are_unique() {
+        for isa in [synthetic_x86(), synthetic_arm(), tiny_isa()] {
+            let names: HashSet<&str> = isa.forms().iter().map(|f| f.name.as_str()).collect();
+            assert_eq!(names.len(), isa.len(), "duplicate names in {}", isa.name());
+        }
+    }
+
+    #[test]
+    fn all_op_classes_are_represented() {
+        for isa in [synthetic_x86(), synthetic_arm()] {
+            let classes: HashSet<OpClass> = isa.forms().iter().map(|f| f.class).collect();
+            for c in [
+                OpClass::IntAlu,
+                OpClass::IntMul,
+                OpClass::IntDiv,
+                OpClass::VecAlu,
+                OpClass::Load,
+                OpClass::Store,
+                OpClass::Shuffle,
+            ] {
+                assert!(classes.contains(&c), "{} lacks {c}", isa.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mem_operand_flags_are_consistent() {
+        let isa = synthetic_x86();
+        for f in isa.forms() {
+            match f.class {
+                OpClass::Load | OpClass::Store => {
+                    assert!(f.has_mem_operand(), "{} lacks mem operand", f.name)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn x86_has_memory_source_alu_forms() {
+        let isa = synthetic_x86();
+        let with_mem = isa
+            .forms()
+            .iter()
+            .filter(|f| f.class == OpClass::IntAlu && f.has_mem_operand())
+            .count();
+        assert!(with_mem >= 12);
+    }
+
+    #[test]
+    fn tiny_isa_shape() {
+        let isa = tiny_isa();
+        assert_eq!(isa.len(), 6);
+        assert!(isa.find("add_r64_r64_r64").is_some());
+        assert!(isa.find("vadd_v128_v128_v128").is_some());
+    }
+}

@@ -1,0 +1,77 @@
+//! A small, self-contained linear-programming solver.
+//!
+//! This crate is the substrate that stands in for the Gurobi LP solver used
+//! in the PMEvo paper (Ritter & Hack, PLDI 2020, Section 5.4). It implements
+//! a dense **two-phase primal simplex** method with Bland's anti-cycling
+//! pivot rule, which is exact (up to floating-point tolerance) on the small
+//! throughput linear programs that PMEvo produces: a handful of constraints
+//! over `|µops| × |ports| + 1` variables.
+//!
+//! All variables are implicitly constrained to be non-negative, which
+//! matches the throughput LP of the paper (Definition 3) where every
+//! variable is a mass share `x_{ik} ≥ 0` or the throughput bound `t ≥ 0`.
+//!
+//! # Example
+//!
+//! Minimize `t` subject to `x1 + x2 = 2`, `x1 ≤ t`, `x2 ≤ t`:
+//!
+//! ```
+//! use pmevo_lp::{Problem, Relation};
+//!
+//! # fn main() -> Result<(), pmevo_lp::LpError> {
+//! let mut p = Problem::minimize(3); // variables: x1, x2, t
+//! p.set_objective_coeff(2, 1.0); // minimize t
+//! p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+//! p.add_constraint(&[(0, 1.0), (2, -1.0)], Relation::Le, 0.0);
+//! p.add_constraint(&[(1, 1.0), (2, -1.0)], Relation::Le, 0.0);
+//! let sol = p.solve()?;
+//! assert!((sol.objective() - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+mod problem;
+mod simplex;
+
+pub use problem::{Constraint, Problem, Relation};
+pub use simplex::{SimplexOptions, Solution};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the simplex solver.
+///
+/// Returned by [`Problem::solve`] and [`Problem::solve_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// No assignment satisfies all constraints.
+    Infeasible,
+    /// The objective can be decreased without bound.
+    Unbounded,
+    /// The iteration limit was exceeded before reaching an optimum.
+    IterationLimit,
+    /// A constraint references a variable index outside the problem.
+    InvalidVariable {
+        /// The offending variable index.
+        index: usize,
+        /// The number of variables in the problem.
+        num_vars: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::InvalidVariable { index, num_vars } => write!(
+                f,
+                "variable index {index} out of range for problem with {num_vars} variables"
+            ),
+        }
+    }
+}
+
+impl Error for LpError {}

@@ -1,0 +1,202 @@
+//! Linear program construction.
+
+use crate::simplex::{self, SimplexOptions, Solution};
+use crate::LpError;
+
+/// Relation of a linear constraint between its left-hand side and its
+/// right-hand side constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// Left-hand side is less than or equal to the right-hand side.
+    Le,
+    /// Left-hand side is greater than or equal to the right-hand side.
+    Ge,
+    /// Left-hand side equals the right-hand side.
+    Eq,
+}
+
+/// A single linear constraint `Σ coeff_j · x_j  (≤ | ≥ | =)  rhs`.
+///
+/// Coefficients are stored sparsely as `(variable index, coefficient)`
+/// pairs. Constraints are created through [`Problem::add_constraint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) relation: Relation,
+    pub(crate) rhs: f64,
+}
+
+impl Constraint {
+    /// The sparse `(variable, coefficient)` terms of the left-hand side.
+    pub fn terms(&self) -> &[(usize, f64)] {
+        &self.terms
+    }
+
+    /// The relation between left-hand side and right-hand side.
+    pub fn relation(&self) -> Relation {
+        self.relation
+    }
+
+    /// The right-hand side constant.
+    pub fn rhs(&self) -> f64 {
+        self.rhs
+    }
+}
+
+/// A linear program over non-negative variables, to be minimized.
+///
+/// Variables are addressed by dense indices `0..num_vars`. Every variable is
+/// implicitly bounded below by zero; there are no upper bounds other than
+/// those expressed by constraints. The objective is always *minimization*;
+/// to maximize, negate the objective coefficients.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_lp::{Problem, Relation};
+///
+/// # fn main() -> Result<(), pmevo_lp::LpError> {
+/// // minimize x0 + 2 x1  s.t.  x0 + x1 >= 3
+/// let mut p = Problem::minimize(2);
+/// p.set_objective_coeff(0, 1.0);
+/// p.set_objective_coeff(1, 2.0);
+/// p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 3.0);
+/// let sol = p.solve()?;
+/// assert!((sol.objective() - 3.0).abs() < 1e-9);
+/// assert!((sol.value(0) - 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates a minimization problem with `num_vars` non-negative
+    /// variables and an all-zero objective.
+    pub fn minimize(num_vars: usize) -> Self {
+        Problem {
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The number of variables of the problem.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// The number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_objective_coeff(&mut self, var: usize, coeff: f64) {
+        assert!(
+            var < self.objective.len(),
+            "objective variable {var} out of range ({} vars)",
+            self.objective.len()
+        );
+        self.objective[var] = coeff;
+    }
+
+    /// The current objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds the constraint `Σ terms (relation) rhs`.
+    ///
+    /// Duplicate variable indices in `terms` are summed. Indices are
+    /// validated lazily by [`solve`](Self::solve), so that building a
+    /// problem never fails.
+    pub fn add_constraint(&mut self, terms: &[(usize, f64)], relation: Relation, rhs: f64) {
+        self.constraints.push(Constraint {
+            terms: terms.to_vec(),
+            relation,
+            rhs,
+        });
+    }
+
+    /// Solves the problem with default [`SimplexOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::Infeasible`] or [`LpError::Unbounded`] for
+    /// problems without finite optimum, [`LpError::InvalidVariable`] if a
+    /// constraint references an out-of-range variable, and
+    /// [`LpError::IterationLimit`] if the pivot budget is exhausted.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solves the problem with explicit solver options.
+    ///
+    /// # Errors
+    ///
+    /// See [`solve`](Self::solve).
+    pub fn solve_with(&self, options: &SimplexOptions) -> Result<Solution, LpError> {
+        for c in &self.constraints {
+            for &(var, _) in &c.terms {
+                if var >= self.num_vars() {
+                    return Err(LpError::InvalidVariable {
+                        index: var,
+                        num_vars: self.num_vars(),
+                    });
+                }
+            }
+        }
+        simplex::solve(self, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut p = Problem::minimize(2);
+        p.set_objective_coeff(1, 4.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 5.0);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.objective(), &[0.0, 4.0]);
+        let c = &p.constraints()[0];
+        assert_eq!(c.terms(), &[(0, 1.0)]);
+        assert_eq!(c.relation(), Relation::Le);
+        assert_eq!(c.rhs(), 5.0);
+    }
+
+    #[test]
+    fn invalid_variable_is_reported() {
+        let mut p = Problem::minimize(1);
+        p.add_constraint(&[(3, 1.0)], Relation::Le, 1.0);
+        assert_eq!(
+            p.solve().unwrap_err(),
+            LpError::InvalidVariable {
+                index: 3,
+                num_vars: 1
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn objective_out_of_range_panics() {
+        let mut p = Problem::minimize(1);
+        p.set_objective_coeff(2, 1.0);
+    }
+}

@@ -1,0 +1,470 @@
+//! Dense two-phase primal simplex with Bland's anti-cycling rule.
+//!
+//! The implementation follows the classical tableau method as described in
+//! Bertsimas & Tsitsiklis, *Introduction to Linear Optimization* (the
+//! textbook the PMEvo paper cites for its LP background):
+//!
+//! 1. Constraints are brought to standard form `A x = b, x ≥ 0, b ≥ 0` by
+//!    adding slack/surplus variables and flipping rows with negative `b`.
+//! 2. Phase 1 minimizes the sum of artificial variables to find a basic
+//!    feasible solution (or prove infeasibility).
+//! 3. Phase 2 minimizes the user objective starting from that basis.
+//!
+//! Bland's rule (choose the lowest-index eligible entering and leaving
+//! variable) guarantees termination even on degenerate problems; the LPs in
+//! this workspace are tiny, so its slower convergence is irrelevant.
+
+use crate::problem::{Problem, Relation};
+use crate::LpError;
+
+/// Numerical tolerance used for pivot and optimality decisions.
+const DEFAULT_TOL: f64 = 1e-9;
+
+/// Tunable parameters of the simplex solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexOptions {
+    /// Absolute tolerance for reduced-cost and ratio tests.
+    pub tolerance: f64,
+    /// Maximum number of pivots across both phases.
+    pub max_pivots: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            tolerance: DEFAULT_TOL,
+            max_pivots: 100_000,
+        }
+    }
+}
+
+/// An optimal solution of a [`Problem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    objective: f64,
+    values: Vec<f64>,
+    pivots: usize,
+}
+
+impl Solution {
+    /// The optimal objective value.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// The value of variable `var` in the optimal solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn value(&self, var: usize) -> f64 {
+        self.values[var]
+    }
+
+    /// All variable values, indexed by variable.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of simplex pivots performed to reach the optimum.
+    pub fn pivots(&self) -> usize {
+        self.pivots
+    }
+}
+
+/// Dense simplex tableau in standard form.
+struct Tableau {
+    /// Row-major constraint matrix, `rows × cols`.
+    a: Vec<f64>,
+    /// Right-hand sides, length `rows`.
+    b: Vec<f64>,
+    /// Objective row (reduced costs), length `cols`.
+    c: Vec<f64>,
+    /// Objective offset (negated running objective value).
+    obj: f64,
+    /// Basis: for each row, the index of its basic column.
+    basis: Vec<usize>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tableau {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.cols + c]
+    }
+
+    /// Performs one pivot on (`row`, `col`), updating A, b, c and basis.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let cols = self.cols;
+        let pivot_val = self.at(row, col);
+        debug_assert!(pivot_val.abs() > 0.0, "pivot on zero element");
+        let inv = 1.0 / pivot_val;
+        for j in 0..cols {
+            self.a[row * cols + j] *= inv;
+        }
+        self.b[row] *= inv;
+        for r in 0..self.rows {
+            if r == row {
+                continue;
+            }
+            let factor = self.at(r, col);
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..cols {
+                let upd = self.a[row * cols + j];
+                self.a[r * cols + j] -= factor * upd;
+            }
+            self.b[r] -= factor * self.b[row];
+        }
+        let factor = self.c[col];
+        if factor != 0.0 {
+            for j in 0..cols {
+                self.c[j] -= factor * self.a[row * cols + j];
+            }
+            self.obj -= factor * self.b[row];
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations until optimality with Bland's rule.
+    ///
+    /// `allowed` limits which columns may enter the basis (used to keep
+    /// artificial variables out during phase 2).
+    fn optimize(
+        &mut self,
+        allowed: usize,
+        tol: f64,
+        pivot_budget: &mut usize,
+    ) -> Result<(), LpError> {
+        loop {
+            // Bland: entering column = lowest index with negative reduced cost.
+            let Some(col) = (0..allowed).find(|&j| self.c[j] < -tol) else {
+                return Ok(());
+            };
+            // Ratio test; Bland tie-break on lowest basic variable index.
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.rows {
+                let a_rc = self.at(r, col);
+                if a_rc > tol {
+                    let ratio = self.b[r] / a_rc;
+                    match leave {
+                        None => leave = Some((r, ratio)),
+                        Some((best_r, best)) => {
+                            if ratio < best - tol
+                                || (ratio < best + tol && self.basis[r] < self.basis[best_r])
+                            {
+                                leave = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            if *pivot_budget == 0 {
+                return Err(LpError::IterationLimit);
+            }
+            *pivot_budget -= 1;
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solves `problem` with the two-phase simplex method.
+pub(crate) fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution, LpError> {
+    let tol = options.tolerance;
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+
+    // Count extra columns: one slack/surplus per inequality, one artificial
+    // per Ge/Eq row (and per Le row with negative rhs, which flips to Ge).
+    let mut num_slack = 0;
+    let mut num_artificial = 0;
+    for c in problem.constraints() {
+        let rhs_neg = c.rhs < 0.0;
+        // Effective relation after making rhs non-negative.
+        let rel = match (c.relation, rhs_neg) {
+            (Relation::Le, false) | (Relation::Ge, true) => Relation::Le,
+            (Relation::Ge, false) | (Relation::Le, true) => Relation::Ge,
+            (Relation::Eq, _) => Relation::Eq,
+        };
+        match rel {
+            Relation::Le => num_slack += 1,
+            Relation::Ge => {
+                num_slack += 1;
+                num_artificial += 1;
+            }
+            Relation::Eq => num_artificial += 1,
+        }
+    }
+
+    let cols = n + num_slack + num_artificial;
+    let mut t = Tableau {
+        a: vec![0.0; m * cols],
+        b: vec![0.0; m],
+        c: vec![0.0; cols],
+        obj: 0.0,
+        basis: vec![usize::MAX; m],
+        rows: m,
+        cols,
+    };
+
+    // Fill rows; track where slacks and artificials land.
+    let mut next_slack = n;
+    let mut next_artificial = n + num_slack;
+    let mut artificial_cols = Vec::with_capacity(num_artificial);
+    for (r, cons) in problem.constraints().iter().enumerate() {
+        let sign = if cons.rhs < 0.0 { -1.0 } else { 1.0 };
+        for &(var, coeff) in &cons.terms {
+            t.a[r * cols + var] += sign * coeff;
+        }
+        t.b[r] = sign * cons.rhs;
+        let rel = match (cons.relation, sign < 0.0) {
+            (Relation::Le, false) | (Relation::Ge, true) => Relation::Le,
+            (Relation::Ge, false) | (Relation::Le, true) => Relation::Ge,
+            (Relation::Eq, _) => Relation::Eq,
+        };
+        match rel {
+            Relation::Le => {
+                t.a[r * cols + next_slack] = 1.0;
+                t.basis[r] = next_slack;
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                t.a[r * cols + next_slack] = -1.0;
+                next_slack += 1;
+                t.a[r * cols + next_artificial] = 1.0;
+                t.basis[r] = next_artificial;
+                artificial_cols.push(next_artificial);
+                next_artificial += 1;
+            }
+            Relation::Eq => {
+                t.a[r * cols + next_artificial] = 1.0;
+                t.basis[r] = next_artificial;
+                artificial_cols.push(next_artificial);
+                next_artificial += 1;
+            }
+        }
+    }
+
+    let mut pivot_budget = options.max_pivots;
+    let mut pivots_used = 0usize;
+
+    // Phase 1: minimize the sum of artificial variables.
+    if num_artificial > 0 {
+        for &ac in &artificial_cols {
+            t.c[ac] = 1.0;
+        }
+        // Price out the artificial basis so reduced costs are consistent.
+        for r in 0..m {
+            if t.basis[r] >= n + num_slack {
+                for j in 0..cols {
+                    t.c[j] -= t.a[r * cols + j];
+                }
+                t.obj -= t.b[r];
+            }
+        }
+        let before = pivot_budget;
+        t.optimize(cols, tol, &mut pivot_budget)?;
+        pivots_used += before - pivot_budget;
+        // Phase-1 objective value is -t.obj (obj accumulates the negation).
+        if -t.obj > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any artificial variables that linger in the basis at zero
+        // level out of the basis where possible.
+        for r in 0..m {
+            if t.basis[r] >= n + num_slack {
+                if let Some(col) = (0..n + num_slack).find(|&j| t.at(r, j).abs() > tol) {
+                    t.pivot(r, col);
+                }
+                // If no real column has a nonzero entry the row is a
+                // redundant constraint; the artificial stays basic at zero,
+                // which is harmless as long as it never re-enters.
+            }
+        }
+    }
+
+    // Phase 2: install the real objective and price out the basis.
+    t.c.iter_mut().for_each(|v| *v = 0.0);
+    t.obj = 0.0;
+    t.c[..n].copy_from_slice(problem.objective());
+    for r in 0..m {
+        let bv = t.basis[r];
+        let factor = t.c[bv];
+        if factor != 0.0 {
+            for j in 0..cols {
+                t.c[j] -= factor * t.a[r * cols + j];
+            }
+            t.obj -= factor * t.b[r];
+        }
+    }
+    let before = pivot_budget;
+    t.optimize(n + num_slack, tol, &mut pivot_budget)?;
+    pivots_used += before - pivot_budget;
+
+    let mut values = vec![0.0; n];
+    for r in 0..m {
+        if t.basis[r] < n {
+            values[t.basis[r]] = t.b[r];
+        }
+    }
+    let objective: f64 = values
+        .iter()
+        .zip(problem.objective())
+        .map(|(x, c)| x * c)
+        .sum();
+    Ok(Solution {
+        objective,
+        values,
+        pivots: pivots_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Problem;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn trivial_unconstrained_minimum_is_zero() {
+        let mut p = Problem::minimize(2);
+        p.set_objective_coeff(0, 1.0);
+        p.set_objective_coeff(1, 1.0);
+        let sol = p.solve().unwrap();
+        assert_close(sol.objective(), 0.0);
+        assert_close(sol.value(0), 0.0);
+    }
+
+    #[test]
+    fn simple_le_maximization_via_negation() {
+        // maximize x0 + x1 s.t. x0 + 2 x1 <= 4, 3 x0 + x1 <= 6
+        let mut p = Problem::minimize(2);
+        p.set_objective_coeff(0, -1.0);
+        p.set_objective_coeff(1, -1.0);
+        p.add_constraint(&[(0, 1.0), (1, 2.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(0, 3.0), (1, 1.0)], Relation::Le, 6.0);
+        let sol = p.solve().unwrap();
+        // Optimum at intersection: x0 = 8/5, x1 = 6/5, objective = -14/5.
+        assert_close(sol.objective(), -14.0 / 5.0);
+        assert_close(sol.value(0), 8.0 / 5.0);
+        assert_close(sol.value(1), 6.0 / 5.0);
+    }
+
+    #[test]
+    fn equality_constraints_need_phase1() {
+        // minimize x0 + x1 s.t. x0 + x1 = 5, x0 - x1 = 1
+        let mut p = Problem::minimize(2);
+        p.set_objective_coeff(0, 1.0);
+        p.set_objective_coeff(1, 1.0);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 5.0);
+        p.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Eq, 1.0);
+        let sol = p.solve().unwrap();
+        assert_close(sol.objective(), 5.0);
+        assert_close(sol.value(0), 3.0);
+        assert_close(sol.value(1), 2.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::minimize(1);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::minimize(1);
+        p.set_objective_coeff(0, -1.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x0 >= 2 written as -x0 <= -2.
+        let mut p = Problem::minimize(1);
+        p.set_objective_coeff(0, 1.0);
+        p.add_constraint(&[(0, -1.0)], Relation::Le, -2.0);
+        let sol = p.solve().unwrap();
+        assert_close(sol.objective(), 2.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_tolerated() {
+        let mut p = Problem::minimize(2);
+        p.set_objective_coeff(0, 1.0);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        p.add_constraint(&[(0, 2.0), (1, 2.0)], Relation::Eq, 4.0);
+        let sol = p.solve().unwrap();
+        assert_close(sol.objective(), 0.0);
+        assert_close(sol.value(1), 2.0);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut p = Problem::minimize(1);
+        p.set_objective_coeff(0, 1.0);
+        // 0.5 x0 + 0.5 x0 >= 3  =>  x0 >= 3
+        p.add_constraint(&[(0, 0.5), (0, 0.5)], Relation::Ge, 3.0);
+        let sol = p.solve().unwrap();
+        assert_close(sol.objective(), 3.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate LP (Beale-like): Bland's rule must not cycle.
+        let mut p = Problem::minimize(4);
+        p.set_objective_coeff(0, -0.75);
+        p.set_objective_coeff(1, 150.0);
+        p.set_objective_coeff(2, -0.02);
+        p.set_objective_coeff(3, 6.0);
+        p.add_constraint(
+            &[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(
+            &[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(&[(2, 1.0)], Relation::Le, 1.0);
+        let sol = p.solve().unwrap();
+        assert_close(sol.objective(), -0.05);
+    }
+
+    #[test]
+    fn throughput_lp_shape() {
+        // The paper's Example 1: e = {add: 2, mul: 1, store: 1} on the
+        // mapping of Figure 2. Variables: x_add_p1, x_add_p2, x_mul_p1,
+        // x_store_p3, t (only edges that exist get variables).
+        let mut p = Problem::minimize(5);
+        let (xa1, xa2, xm1, xs3, tv) = (0, 1, 2, 3, 4);
+        p.set_objective_coeff(tv, 1.0);
+        p.add_constraint(&[(xa1, 1.0), (xa2, 1.0)], Relation::Eq, 2.0);
+        p.add_constraint(&[(xm1, 1.0)], Relation::Eq, 1.0);
+        p.add_constraint(&[(xs3, 1.0)], Relation::Eq, 1.0);
+        p.add_constraint(&[(xa1, 1.0), (xm1, 1.0), (tv, -1.0)], Relation::Le, 0.0);
+        p.add_constraint(&[(xa2, 1.0), (tv, -1.0)], Relation::Le, 0.0);
+        p.add_constraint(&[(xs3, 1.0), (tv, -1.0)], Relation::Le, 0.0);
+        let sol = p.solve().unwrap();
+        assert_close(sol.objective(), 1.5);
+    }
+
+    #[test]
+    fn solution_accessors() {
+        let mut p = Problem::minimize(1);
+        p.set_objective_coeff(0, 1.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Ge, 1.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.values().len(), 1);
+        assert!(sol.pivots() >= 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Accuracy metrics, heat maps and table formatting for the PMEvo
+//! evaluation (paper §5.3).
+//!
+//! * [`mape`], [`pearson`], [`spearman`] — the three accuracy measures of
+//!   paper Tables 3 and 4.
+//! * [`Heatmap`] — the 35×35 binned predicted-vs-measured heat maps of
+//!   paper Figure 7, renderable as ASCII or CSV.
+//! * [`Table`] — plain-text result tables for the reproduction binaries.
+
+mod heatmap;
+mod metrics;
+mod table;
+
+pub use heatmap::Heatmap;
+pub use metrics::{mape, pearson, spearman, AccuracySummary};
+pub use table::Table;

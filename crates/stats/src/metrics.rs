@@ -1,0 +1,203 @@
+//! The accuracy metrics of paper §5.3: MAPE, Pearson and Spearman
+//! correlation coefficients.
+
+/// Mean Absolute Percentage Error of `predicted` against `measured`,
+/// in percent.
+///
+/// `MAPE = 100/n · Σ |pred_i − meas_i| / meas_i`
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths, are empty, or a measured
+/// value is zero (the experiments of the paper always take ≥ some
+/// fraction of a cycle).
+///
+/// # Example
+///
+/// ```
+/// let m = pmevo_stats::mape(&[1.1, 2.0], &[1.0, 2.0]);
+/// assert!((m - 5.0).abs() < 1e-9);
+/// ```
+pub fn mape(predicted: &[f64], measured: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), measured.len(), "length mismatch");
+    assert!(!measured.is_empty(), "empty metric input");
+    let sum: f64 = predicted
+        .iter()
+        .zip(measured)
+        .map(|(p, m)| {
+            assert!(*m != 0.0, "measured value of zero breaks MAPE");
+            (p - m).abs() / m.abs()
+        })
+        .sum();
+    100.0 * sum / measured.len() as f64
+}
+
+/// Pearson correlation coefficient between two samples.
+///
+/// Returns 0 for degenerate (constant) inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(!xs.is_empty(), "empty metric input");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Ranks with average tie-handling (the standard construction for
+/// Spearman's ρ).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("ranks need finite values"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient (Pearson over average ranks).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(!xs.is_empty(), "empty metric input");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// The (MAPE, Pearson, Spearman) triple reported per tool and platform in
+/// paper Tables 3 and 4.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AccuracySummary {
+    /// Mean absolute percentage error, in percent.
+    pub mape: f64,
+    /// Pearson correlation coefficient.
+    pub pearson: f64,
+    /// Spearman rank correlation coefficient.
+    pub spearman: f64,
+}
+
+impl AccuracySummary {
+    /// Computes all three metrics over prediction/measurement pairs.
+    ///
+    /// # Panics
+    ///
+    /// See [`mape`], [`pearson`], [`spearman`].
+    pub fn compute(predicted: &[f64], measured: &[f64]) -> Self {
+        AccuracySummary {
+            mape: mape(predicted, measured),
+            pearson: pearson(predicted, measured),
+            spearman: spearman(predicted, measured),
+        }
+    }
+}
+
+impl std::fmt::Display for AccuracySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MAPE {:5.1}%  PCC {:+.2}  SCC {:+.2}",
+            self.mape, self.pearson, self.spearman
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_of_perfect_prediction_is_zero() {
+        assert_eq!(mape(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn mape_is_relative() {
+        // 10% off on each point.
+        let m = mape(&[1.1, 22.0], &[1.0, 20.0]);
+        assert!((m - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_of_linear_relation_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_nonlinear_relations() {
+        let xs: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        // Pearson is below 1 for the same data.
+        assert!(pearson(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties_with_average_ranks() {
+        let xs = [1.0, 1.0, 2.0];
+        let r = ranks(&xs);
+        assert_eq!(r, vec![1.5, 1.5, 3.0]);
+        // Correlation with itself remains exactly 1 under ties.
+        assert!((spearman(&xs, &xs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_combines_all_metrics() {
+        let s = AccuracySummary::compute(&[1.0, 2.0], &[1.0, 2.0]);
+        assert_eq!(s.mape, 0.0);
+        assert!((s.pearson - 1.0).abs() < 1e-12);
+        assert!((s.spearman - 1.0).abs() < 1e-12);
+        assert!(s.to_string().contains("MAPE"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        mape(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn zero_measurement_panics() {
+        mape(&[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Minimal aligned plain-text tables for the reproduction binaries.
+
+use std::fmt;
+
+/// A plain-text table with a header row and aligned columns.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_stats::Table;
+///
+/// let mut t = Table::new(vec!["tool", "MAPE"]);
+/// t.row(vec!["PMEvo".into(), "14.7%".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("PMEvo"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        assert!(!header.is_empty(), "table needs at least one column");
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["xxx".into(), "y".into()]);
+        t.row(vec!["z".into(), "wwww".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a  "));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        Table::new(vec!["a"]).row(vec!["x".into(), "y".into()]);
+    }
+}

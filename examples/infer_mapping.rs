@@ -1,0 +1,86 @@
+//! Infer a port mapping for one of the paper's three (simulated)
+//! machines and report the Table-2-style statistics.
+//!
+//! Run with:
+//! `cargo run --release --example infer_mapping -- [SKL|ZEN|A72] [population]`
+//!
+//! Defaults: A72 (the platform the paper highlights as out of reach for
+//! counter-based tools), population 300.
+
+use pmevo::evo::{run, EvoConfig, PipelineConfig};
+use pmevo::machine::{platforms, MeasureConfig, Measurer};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let which = args.next().unwrap_or_else(|| "A72".into());
+    let population: usize = args
+        .next()
+        .map(|s| s.parse().expect("population must be a number"))
+        .unwrap_or(300);
+
+    let platform = match which.to_uppercase().as_str() {
+        "SKL" => platforms::skl(),
+        "ZEN" => platforms::zen(),
+        "A72" => platforms::a72(),
+        other => {
+            eprintln!("unknown platform {other}; expected SKL, ZEN or A72");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "PMEvo inference on {} ({} forms, {} ports, population {population})",
+        platform.name(),
+        platform.isa().len(),
+        platform.num_ports()
+    );
+
+    let measurer = Measurer::new(&platform, MeasureConfig::default());
+    let config = PipelineConfig {
+        evo: EvoConfig {
+            population_size: population,
+            max_generations: 50,
+            seed: 0xA72,
+            ..EvoConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let result = run(
+        platform.isa().len(),
+        platform.num_ports(),
+        |exps| exps.iter().map(|e| measurer.measure(e)).collect(),
+        &config,
+    );
+
+    println!("\nTable-2-style characteristics:");
+    println!("  benchmarking time      {:.1?}", result.benchmarking_time);
+    println!("  inference time         {:.1?}", result.inference_time);
+    println!(
+        "  insns found congruent  {:.0}%  ({} classes / {} forms)",
+        100.0 * result.congruent_fraction,
+        result.num_classes,
+        platform.isa().len()
+    );
+    println!("  number of µops         {}", result.num_distinct_uops());
+    println!(
+        "  training D_avg         {:.4} after {} generations",
+        result.evo.objectives.error, result.evo.generations
+    );
+
+    // How well does the inferred mapping track the hidden ground truth
+    // on the experiments it was trained on? (The real quality metric —
+    // held-out benchmark accuracy — is what `table3`/`table4` measure.)
+    let gt = platform.ground_truth();
+    let sample: Vec<_> = (0..platform.isa().len() as u32)
+        .step_by(17)
+        .map(|i| pmevo::core::Experiment::singleton(pmevo::core::InstId(i)))
+        .collect();
+    println!("\nspot check (inferred vs ground-truth model, singleton experiments):");
+    for e in sample.iter().take(8) {
+        println!(
+            "  {e}: inferred {:.2}, ground truth {:.2}",
+            result.mapping.throughput(e),
+            gt.throughput(e)
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Quickstart: infer a port mapping for a small toy machine and inspect
+//! the result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! A six-instruction machine (add, mul, div, load, store, vadd) is built
+//! with an explicit ground-truth port mapping; PMEvo only ever observes
+//! measured throughputs, infers a mapping, and we compare its predictions
+//! against the hidden truth.
+
+use pmevo::core::{Experiment, InstId, PortSet, ThreeLevelMapping, UopEntry};
+use pmevo::evo::{run, EvoConfig, PipelineConfig};
+use pmevo::isa::synth::tiny_isa;
+use pmevo::machine::{MeasureConfig, Measurer, Platform, PlatformInfo};
+
+fn toy_platform() -> Platform {
+    let isa = tiny_isa();
+    let u = |count, ports: &[usize]| UopEntry::new(count, PortSet::from_ports(ports));
+    // Ground truth over 4 ports: 0,1 = ALUs, 2 = load, 3 = store.
+    let decomp = vec![
+        vec![u(1, &[0, 1])],          // add: either ALU
+        vec![u(1, &[0])],             // mul: ALU 0 only
+        vec![u(3, &[0])],             // div: blocks ALU 0 for 3 µops
+        vec![u(1, &[2])],             // load
+        vec![u(1, &[3]), u(1, &[2])], // store: store-data + address
+        vec![u(1, &[1])],             // vadd: ALU 1 only
+    ];
+    let exec = (0..isa.len())
+        .map(|_| pmevo::machine::platform::ExecParams {
+            latency: 2,
+            blocking: 1,
+        })
+        .collect();
+    Platform::new(
+        "TOY",
+        PlatformInfo {
+            manufacturer: "Example Corp".into(),
+            processor: "Toy-1".into(),
+            microarch: "Minimal".into(),
+            ports_desc: "4".into(),
+            isa_name: "tiny".into(),
+            clock_ghz: 1.0,
+        },
+        isa,
+        ThreeLevelMapping::new(4, decomp),
+        exec,
+        4,
+        32,
+    )
+}
+
+fn main() {
+    let platform = toy_platform();
+    let measurer = Measurer::new(&platform, MeasureConfig::exact());
+
+    println!("Inferring a port mapping for the {} machine ...", platform.name());
+    let config = PipelineConfig {
+        evo: EvoConfig {
+            population_size: 150,
+            max_generations: 40,
+            seed: 1,
+            ..EvoConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let result = run(
+        platform.isa().len(),
+        platform.num_ports(),
+        |exps| exps.iter().map(|e| measurer.measure(e)).collect(),
+        &config,
+    );
+
+    println!(
+        "done: {} experiments measured, {} congruence classes, D_avg = {:.4}\n",
+        result.num_experiments,
+        result.num_classes,
+        result.evo.objectives.error
+    );
+
+    println!("inferred decompositions (ground truth is hidden from PMEvo):");
+    for (id, form) in platform.isa().iter() {
+        let entries: Vec<String> = result
+            .mapping
+            .decomposition(id)
+            .iter()
+            .map(|e| format!("{}×{}", e.count, e.ports))
+            .collect();
+        println!("  {:28} -> {}", form.name, entries.join(" + "));
+    }
+
+    println!("\npredicted vs measured on held-out experiments:");
+    let held_out = [
+        Experiment::from_counts(&[(InstId(0), 2), (InstId(1), 1)]),
+        Experiment::from_counts(&[(InstId(2), 1), (InstId(3), 2)]),
+        Experiment::from_counts(&[(InstId(4), 2), (InstId(5), 2), (InstId(0), 1)]),
+    ];
+    for e in &held_out {
+        let predicted = result.mapping.throughput(e);
+        let measured = measurer.measure(e);
+        println!("  {e}: predicted {predicted:.2}, measured {measured:.2}");
+    }
+}

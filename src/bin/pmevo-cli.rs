@@ -1,0 +1,252 @@
+//! `pmevo-cli` — command-line front end for the PMEvo reproduction.
+//!
+//! Subcommands:
+//!
+//! * `platforms` — list the built-in simulated machines;
+//! * `infer --platform SKL [--population 300] [--out mapping.json]` —
+//!   run the full inference pipeline and write the mapping as JSON;
+//! * `show --platform SKL --mapping mapping.json [--limit 20]` — render
+//!   a mapping in uops.info-style notation;
+//! * `predict --platform SKL --mapping mapping.json --experiment
+//!   "add_r64_r64:2,imul_r64_r64:1"` — predict (and measure) one
+//!   experiment's throughput.
+//!
+//! Exit code 2 on usage errors.
+
+use pmevo::core::{render, Experiment, InstId, ThreeLevelMapping};
+use pmevo::evo::{EvoConfig, PipelineConfig};
+use pmevo::machine::{platforms, MeasureConfig, Measurer, Platform};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pmevo-cli <platforms|infer|show|predict> [flags]\n\
+         \n\
+         pmevo-cli platforms\n\
+         pmevo-cli infer   --platform SKL [--population 300] [--out mapping.json]\n\
+         pmevo-cli show    --platform SKL --mapping mapping.json [--limit 20]\n\
+         pmevo-cli predict --platform SKL --mapping mapping.json \\\n\
+                           --experiment \"add_r64_r64:2,imul_r64_r64:1\""
+    );
+    ExitCode::from(2)
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn platform_from(args: &[String]) -> Result<Platform, ExitCode> {
+    match flag(args, "--platform").as_deref().map(str::to_uppercase) {
+        Some(ref s) if s == "SKL" => Ok(platforms::skl()),
+        Some(ref s) if s == "ZEN" => Ok(platforms::zen()),
+        Some(ref s) if s == "A72" => Ok(platforms::a72()),
+        Some(other) => {
+            eprintln!("unknown platform {other}; expected SKL, ZEN or A72");
+            Err(ExitCode::from(2))
+        }
+        None => {
+            eprintln!("missing --platform");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn load_mapping(args: &[String], platform: &Platform) -> Result<ThreeLevelMapping, ExitCode> {
+    let Some(path) = flag(args, "--mapping") else {
+        eprintln!("missing --mapping <file.json>");
+        return Err(ExitCode::from(2));
+    };
+    let data = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return Err(ExitCode::from(1));
+        }
+    };
+    let mapping: ThreeLevelMapping = match serde_json::from_str(&data) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return Err(ExitCode::from(1));
+        }
+    };
+    if mapping.num_insts() != platform.isa().len() || mapping.num_ports() != platform.num_ports() {
+        eprintln!(
+            "mapping shape ({} insts, {} ports) does not match platform {} ({} insts, {} ports)",
+            mapping.num_insts(),
+            mapping.num_ports(),
+            platform.name(),
+            platform.isa().len(),
+            platform.num_ports()
+        );
+        return Err(ExitCode::from(1));
+    }
+    Ok(mapping)
+}
+
+/// Parses `"name:count,name:count"` into an experiment.
+fn parse_experiment(platform: &Platform, spec: &str) -> Result<Experiment, String> {
+    let mut counts: Vec<(InstId, u32)> = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, count) = match part.rsplit_once(':') {
+            Some((n, c)) => (
+                n.trim(),
+                c.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad count in {part:?}"))?,
+            ),
+            None => (part, 1),
+        };
+        let id = platform
+            .isa()
+            .find(name)
+            .ok_or_else(|| format!("unknown instruction form {name:?}"))?;
+        counts.push((id, count));
+    }
+    if counts.is_empty() {
+        return Err("empty experiment".to_string());
+    }
+    Ok(Experiment::from_counts(&counts))
+}
+
+fn cmd_platforms() -> ExitCode {
+    for p in [platforms::skl(), platforms::zen(), platforms::a72()] {
+        println!(
+            "{:4} {:10} {:8} {} forms, {} ports, fetch {}, window {}",
+            p.name(),
+            p.info().microarch,
+            p.info().isa_name,
+            p.isa().len(),
+            p.num_ports(),
+            p.fetch_width(),
+            p.window_size()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_infer(args: &[String]) -> ExitCode {
+    let platform = match platform_from(args) {
+        Ok(p) => p,
+        Err(c) => return c,
+    };
+    let population = flag(args, "--population")
+        .map(|v| v.parse().expect("--population expects a number"))
+        .unwrap_or(300);
+    let out = flag(args, "--out")
+        .unwrap_or_else(|| format!("pmevo_{}.json", platform.name().to_lowercase()));
+
+    eprintln!(
+        "inferring port mapping for {} (population {population}) ...",
+        platform.name()
+    );
+    let measurer = Measurer::new(&platform, MeasureConfig::default());
+    let config = PipelineConfig {
+        evo: EvoConfig {
+            population_size: population,
+            ..EvoConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let result = pmevo::evo::run(
+        platform.isa().len(),
+        platform.num_ports(),
+        |exps| exps.iter().map(|e| measurer.measure(e)).collect(),
+        &config,
+    );
+    eprintln!(
+        "benchmarked {} experiments in {:.1?}; inference took {:.1?}; \
+         D_avg = {:.4}; {} congruence classes; {} distinct µops",
+        result.num_experiments,
+        result.benchmarking_time,
+        result.inference_time,
+        result.evo.objectives.error,
+        result.num_classes,
+        result.num_distinct_uops()
+    );
+    let json = serde_json::to_string_pretty(&result.mapping).expect("mapping serializes");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{out}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_show(args: &[String]) -> ExitCode {
+    let platform = match platform_from(args) {
+        Ok(p) => p,
+        Err(c) => return c,
+    };
+    let mapping = match load_mapping(args, &platform) {
+        Ok(m) => m,
+        Err(c) => return c,
+    };
+    let limit = flag(args, "--limit")
+        .map(|v| v.parse().expect("--limit expects a number"))
+        .unwrap_or(usize::MAX);
+    let s = render::summary(&mapping, |i| platform.isa().form(i).name.clone());
+    for (name, decomp) in s.lines().iter().take(limit) {
+        println!("{name:28} {decomp}");
+    }
+    if s.lines().len() > limit {
+        println!("... ({} more)", s.lines().len() - limit);
+    }
+    println!();
+    print!("port pressure:");
+    for (p, mass) in s.port_usage().iter().enumerate() {
+        print!("  p{p}={mass:.1}");
+    }
+    println!();
+    ExitCode::SUCCESS
+}
+
+fn cmd_predict(args: &[String]) -> ExitCode {
+    let platform = match platform_from(args) {
+        Ok(p) => p,
+        Err(c) => return c,
+    };
+    let mapping = match load_mapping(args, &platform) {
+        Ok(m) => m,
+        Err(c) => return c,
+    };
+    let Some(spec) = flag(args, "--experiment") else {
+        eprintln!("missing --experiment \"form:count,form:count\"");
+        return ExitCode::from(2);
+    };
+    let experiment = match parse_experiment(&platform, &spec) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let predicted = mapping.throughput(&experiment);
+    let measured = Measurer::new(&platform, MeasureConfig::default()).measure(&experiment);
+    println!("experiment: {experiment}");
+    println!("predicted:  {predicted:.3} cycles");
+    println!("measured:   {measured:.3} cycles (simulator)");
+    println!(
+        "rel. error: {:.1}%",
+        100.0 * (predicted - measured).abs() / measured
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("platforms") => cmd_platforms(),
+        Some("infer") => cmd_infer(&args[1..]),
+        Some("show") => cmd_show(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        _ => usage(),
+    }
+}

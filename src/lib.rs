@@ -1,0 +1,47 @@
+//! # PMEvo-rs
+//!
+//! A reproduction of **"PMEvo: Portable Inference of Port Mappings for
+//! Out-of-Order Processors by Evolutionary Optimization"** (Fabian Ritter
+//! and Sebastian Hack, PLDI 2020) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace crates under one roof:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `pmevo-core` | port sets, mappings, experiments, the bottleneck simulation algorithm |
+//! | [`lp`] | `pmevo-lp` | two-phase primal simplex solver |
+//! | [`isa`] | `pmevo-isa` | instruction forms, register allocation, synthetic ISAs |
+//! | [`machine`] | `pmevo-machine` | cycle-level OoO simulator + measurement harness |
+//! | [`evo`] | `pmevo-evo` | experiment generation, congruence filtering, evolutionary inference |
+//! | [`baselines`] | `pmevo-baselines` | uops.info-, IACA-, llvm-mca-, Ithemal-like predictors |
+//! | [`stats`] | `pmevo-stats` | MAPE/Pearson/Spearman, heat maps, tables |
+//!
+//! # Quickstart
+//!
+//! Infer a port mapping for a simulated machine and check its accuracy:
+//!
+//! ```
+//! use pmevo::evo::{run, PipelineConfig, EvoConfig};
+//! use pmevo::machine::{platforms, MeasureConfig, Measurer};
+//!
+//! // A small, fast configuration (see `examples/` for realistic ones).
+//! let platform = platforms::a72();
+//! let measurer = Measurer::new(&platform, MeasureConfig::exact());
+//! let config = PipelineConfig {
+//!     evo: EvoConfig { population_size: 20, max_generations: 3, ..EvoConfig::default() },
+//!     ..PipelineConfig::default()
+//! };
+//! // Infer over the first 4 instruction forms only, to keep the doctest fast.
+//! let result = run(4, platform.num_ports(), |exps| {
+//!     exps.iter().map(|e| measurer.measure(e)).collect()
+//! }, &config);
+//! assert_eq!(result.mapping.num_insts(), 4);
+//! ```
+
+pub use pmevo_baselines as baselines;
+pub use pmevo_core as core;
+pub use pmevo_evo as evo;
+pub use pmevo_isa as isa;
+pub use pmevo_lp as lp;
+pub use pmevo_machine as machine;
+pub use pmevo_stats as stats;
