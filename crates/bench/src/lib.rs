@@ -154,7 +154,7 @@ pub fn pmevo_mapping_cached(platform: &Platform, scale: usize, seed: u64) -> Thr
 /// Loads a cached mapping if present and shape-compatible.
 pub fn load_mapping(path: &Path, platform: &Platform) -> Option<ThreeLevelMapping> {
     let data = std::fs::read_to_string(path).ok()?;
-    let mapping: ThreeLevelMapping = serde_json::from_str(&data).ok()?;
+    let mapping = ThreeLevelMapping::from_json(&data).ok()?;
     (mapping.num_insts() == platform.isa().len()
         && mapping.num_ports() == platform.num_ports())
     .then_some(mapping)
@@ -166,7 +166,7 @@ pub fn load_mapping(path: &Path, platform: &Platform) -> Option<ThreeLevelMappin
 ///
 /// Panics on I/O failure.
 pub fn save_mapping(path: &Path, mapping: &ThreeLevelMapping) {
-    let json = serde_json::to_string_pretty(mapping).expect("mapping serializes");
+    let json = mapping.to_json_pretty();
     std::fs::write(path, json).expect("write mapping artifact");
 }
 

@@ -64,7 +64,7 @@ pub fn bottleneck_set(masses: &MassVector) -> Option<Bottleneck> {
     for (q, &s) in sum.iter().enumerate().skip(1) {
         let t = s / (q.count_ones() as f64);
         let better = t > best_t + 1e-12
-            || ((t - best_t).abs() <= 1e-12 && q.count_ones() < best_q.count_ones() as u32);
+            || ((t - best_t).abs() <= 1e-12 && q.count_ones() < best_q.count_ones());
         if better {
             best_t = t;
             best_q = q;

@@ -458,4 +458,72 @@ mod tests {
             assert!((f - l).abs() < 1e-7, "fast {f} != lp {l} for {mv:?}");
         }
     }
+
+    #[test]
+    fn bottleneck_equals_lp_on_hand_written_mappings() {
+        // Fast, deterministic companion to the randomized
+        // `tests/bottleneck_equals_lp.rs` suite: the bottleneck algebra
+        // must agree with the simplex solver on hand-written mappings
+        // exercised across every instruction pair.
+        use crate::{Experiment, InstId, ThreeLevelMapping, UopEntry};
+
+        let uop = |count, ports: &[usize]| UopEntry::new(count, ps(ports));
+
+        // (a) The paper's Figure 4 mapping (store splits into two µops).
+        let figure4 = ThreeLevelMapping::new(
+            3,
+            vec![
+                vec![uop(2, &[0])],
+                vec![uop(1, &[0, 1])],
+                vec![uop(1, &[0, 1])],
+                vec![uop(1, &[0, 1]), uop(1, &[2])],
+            ],
+        );
+        // (b) A Skylake-flavoured 6-port sketch: ALU / MUL / load / store
+        // with asymmetric port overlap and a 3-µop instruction.
+        let skl_like = ThreeLevelMapping::new(
+            6,
+            vec![
+                vec![uop(1, &[0, 1, 5])],
+                vec![uop(1, &[1])],
+                vec![uop(1, &[2, 3])],
+                vec![uop(1, &[2, 3]), uop(1, &[4])],
+                vec![uop(2, &[0, 5]), uop(1, &[4])],
+            ],
+        );
+        // (c) A heavy-multiplicity mapping where one instruction floods a
+        // narrow port and another spreads thin across all four.
+        let lopsided = ThreeLevelMapping::new(
+            4,
+            vec![
+                vec![uop(4, &[0])],
+                vec![uop(1, &[0, 1, 2, 3])],
+                vec![uop(2, &[1, 2]), uop(2, &[2, 3])],
+            ],
+        );
+
+        for (name, m) in [
+            ("figure4", &figure4),
+            ("skl_like", &skl_like),
+            ("lopsided", &lopsided),
+        ] {
+            let n = m.num_insts() as u32;
+            let mut experiments = Vec::new();
+            for i in 0..n {
+                experiments.push(Experiment::singleton(InstId(i)));
+                for j in (i + 1)..n {
+                    experiments.push(Experiment::pair(InstId(i), 2, InstId(j), 1));
+                }
+            }
+            for e in &experiments {
+                let masses = m.uop_masses(e);
+                let fast = throughput_fast(&masses);
+                let lp = lp_throughput(&masses);
+                assert!(
+                    (fast - lp).abs() < 1e-7,
+                    "{name}: bottleneck {fast} != LP {lp} for {e}"
+                );
+            }
+        }
+    }
 }

@@ -22,7 +22,7 @@ use std::fmt;
 /// assert_eq!(e.num_distinct(), 2);
 /// ```
 #[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct Experiment {
     counts: Vec<(InstId, u32)>,
@@ -130,7 +130,7 @@ impl FromIterator<(InstId, u32)> for Experiment {
 }
 
 /// An experiment together with its measured throughput in cycles.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeasuredExperiment {
     /// The instruction multiset that was measured.
     pub experiment: Experiment,

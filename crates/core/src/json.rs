@@ -1,0 +1,478 @@
+//! A minimal JSON reader/writer for mapping artifacts.
+//!
+//! The build environment has no crates.io access, so instead of `serde` +
+//! `serde_json` the workspace serializes its one persistent artifact type
+//! ([`ThreeLevelMapping`](crate::ThreeLevelMapping), written by the bench
+//! harness cache and the CLI) through this module. The wire format is
+//! exactly what a serde derive would emit for the same structs — objects
+//! with the field names as keys and `PortSet` as its raw `u64` mask — so
+//! artifacts stay forward-compatible with a future registry-backed serde.
+
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Integers that fit `u64` are kept exact in [`Value::UInt`] (port masks
+/// may exceed the 2^53 range where `f64` is lossless); everything else
+/// numeric is [`Value::Num`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            // Strict bound: `u64::MAX as f64` rounds up to 2^64, which is
+            // already out of range, so `<=` would saturate-accept it.
+            Value::Num(f) if f >= 0.0 && f.fract() == 0.0 && f < u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure, with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+/// Nesting bound (matches serde_json's default): corrupt input made of
+/// repeated `[`/`{` must produce a [`ParseError`], not a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { offset: self.pos, message: message.to_owned() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than 128 levels"));
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for mapping
+                            // artifacts; reject them rather than mis-decode.
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| self.err("unsupported \\u code point"))?;
+                            out.push(ch);
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                Some(b) => {
+                    // Copy one UTF-8 scalar (multi-byte sequences arrive as
+                    // valid UTF-8 because the input is a &str).
+                    let start = self.pos;
+                    let width = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    self.pos += width;
+                    let chunk = self
+                        .bytes
+                        .get(start..self.pos)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if integral && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| ParseError { offset: start, message: "invalid number".into() })
+    }
+}
+
+/// Serializes a value compactly (no whitespace).
+pub fn write_compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, None, 0, &mut out);
+    out
+}
+
+/// Serializes a value with 2-space indentation.
+pub fn write_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, Some(2), 0, &mut out);
+    out
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Num(f) => {
+            if !f.is_finite() {
+                // JSON has no NaN/Infinity; follow JSON.stringify and
+                // emit null so the output always re-parses.
+                out.push_str("null");
+            } else if f.fract() == 0.0 {
+                // Keep integral floats readable and round-trippable.
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&format!("{f}"));
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => write_seq(b"[]", items.iter(), indent, depth, out, |item, d, o| {
+            write_value(item, indent, d, o)
+        }),
+        Value::Obj(fields) => write_seq(b"{}", fields.iter(), indent, depth, out, |(k, val), d, o| {
+            write_string(k, o);
+            o.push(':');
+            if indent.is_some() {
+                o.push(' ');
+            }
+            write_value(val, indent, d, o);
+        }),
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq<T>(
+    delims: &[u8; 2],
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut write_item: impl FnMut(T, usize, &mut String),
+) {
+    out.push(delims[0] as char);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        write_item(item, depth + 1, out);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * depth));
+        }
+    }
+    out.push(delims[1] as char);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(" 42 ").unwrap(), Value::UInt(42));
+        assert_eq!(parse("-1.5").unwrap(), Value::Num(-1.5));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn big_masks_stay_exact() {
+        let mask = u64::MAX;
+        let v = parse(&mask.to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(mask));
+    }
+
+    #[test]
+    fn roundtrips_nested_documents() {
+        let doc = Value::Obj(vec![
+            ("num_ports".into(), Value::UInt(3)),
+            (
+                "decomp".into(),
+                Value::Arr(vec![Value::Arr(vec![Value::Obj(vec![
+                    ("count".into(), Value::UInt(2)),
+                    ("ports".into(), Value::UInt(1)),
+                ])])]),
+            ),
+        ]);
+        for text in [write_compact(&doc), write_pretty(&doc)] {
+            assert_eq!(parse(&text).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\q\""] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let bomb = "[".repeat(1_000_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Nesting at the limit still parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        assert!(parse(&format!("[{ok}]")).is_err());
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let text = write_compact(&Value::Arr(vec![Value::Num(f)]));
+            assert_eq!(text, "[null]");
+            assert!(parse(&text).is_ok());
+        }
+    }
+
+    #[test]
+    fn out_of_range_float_integers_are_not_u64() {
+        // 2^64 must not saturate to u64::MAX, whether written as an
+        // integer literal (falls through u64 parsing to f64) or a float.
+        assert_eq!(parse("18446744073709551616").unwrap().as_u64(), None);
+        assert_eq!(parse("1.8446744073709552e19").unwrap().as_u64(), None);
+        // Largest f64-representable integer below 2^64 still converts.
+        assert_eq!(
+            parse("1.8446744073709550e19").unwrap().as_u64(),
+            Some(18446744073709549568),
+        );
+    }
+}

@@ -36,13 +36,14 @@
 pub mod allocation;
 mod bottleneck_impl;
 mod experiment;
+pub mod json;
 mod mapping;
 mod ports;
 mod predict;
 pub mod render;
 
 pub use experiment::{Experiment, MeasuredExperiment};
-pub use mapping::{ThreeLevelMapping, TwoLevelMapping, UopEntry};
+pub use mapping::{MappingJsonError, ThreeLevelMapping, TwoLevelMapping, UopEntry};
 pub use ports::{PortId, PortSet, PortSetIter, MAX_PORTS};
 pub use predict::{prediction_agreement, MappingPredictor, ThroughputPredictor};
 
@@ -71,8 +72,6 @@ use std::fmt;
     PartialOrd,
     Ord,
     Hash,
-    serde::Serialize,
-    serde::Deserialize,
 )]
 pub struct InstId(pub u32);
 

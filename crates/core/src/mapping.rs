@@ -8,7 +8,7 @@ use rand::Rng;
 /// µop executable on `ports` (a labeled edge `(i, n, u)` of paper
 /// Definition 4, with the instruction implicit in the containing table).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash,
 )]
 pub struct UopEntry {
     /// Multiplicity `n` of the µop in the instruction's decomposition.
@@ -40,7 +40,7 @@ impl UopEntry {
 /// let e = Experiment::from_counts(&[(InstId(0), 1), (InstId(1), 1)]);
 /// assert_eq!(m.throughput(&e), 1.0); // i1 moves to port 1
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TwoLevelMapping {
     num_ports: usize,
     ports_of: Vec<PortSet>,
@@ -133,7 +133,7 @@ impl TwoLevelMapping {
 /// let e = Experiment::from_counts(&[(InstId(0), 1), (InstId(3), 1)]);
 /// assert_eq!(m.throughput(&e), 2.0); // both mul µops pile on P1
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreeLevelMapping {
     num_ports: usize,
     decomp: Vec<Vec<UopEntry>>,
@@ -270,6 +270,89 @@ impl ThreeLevelMapping {
         throughput_fast(&self.uop_masses(e))
     }
 
+    /// Serializes the mapping as compact JSON (`{"num_ports":…,"decomp":…}`,
+    /// port sets as raw masks — the shape a serde derive would emit).
+    pub fn to_json(&self) -> String {
+        crate::json::write_compact(&self.to_json_value())
+    }
+
+    /// Serializes the mapping as 2-space-indented JSON.
+    pub fn to_json_pretty(&self) -> String {
+        crate::json::write_pretty(&self.to_json_value())
+    }
+
+    fn to_json_value(&self) -> crate::json::Value {
+        use crate::json::Value;
+        let decomp = self
+            .decomp
+            .iter()
+            .map(|entries| {
+                Value::Arr(
+                    entries
+                        .iter()
+                        .map(|e| {
+                            Value::Obj(vec![
+                                ("count".into(), Value::UInt(u64::from(e.count))),
+                                ("ports".into(), Value::UInt(e.ports.mask())),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Value::Obj(vec![
+            ("num_ports".into(), Value::UInt(self.num_ports as u64)),
+            ("decomp".into(), Value::Arr(decomp)),
+        ])
+    }
+
+    /// Parses a mapping from the JSON produced by [`Self::to_json`] /
+    /// [`Self::to_json_pretty`], re-validating and re-normalizing it.
+    pub fn from_json(input: &str) -> Result<Self, MappingJsonError> {
+        let doc = crate::json::parse(input).map_err(MappingJsonError::Parse)?;
+        let shape = |what: &str| MappingJsonError::Shape(what.to_owned());
+        let num_ports = doc
+            .get("num_ports")
+            .and_then(|v| v.as_u64())
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| shape("missing integer field `num_ports`"))?;
+        if num_ports > MAX_PORTS {
+            return Err(shape(&format!("num_ports {num_ports} exceeds {MAX_PORTS}")));
+        }
+        let valid = PortSet::first_n(num_ports);
+        let rows = doc
+            .get("decomp")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| shape("missing array field `decomp`"))?;
+        let mut decomp = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let entries = row
+                .as_arr()
+                .ok_or_else(|| shape(&format!("decomp[{i}] is not an array")))?;
+            let mut parsed = Vec::with_capacity(entries.len());
+            for entry in entries {
+                let count = entry
+                    .get("count")
+                    .and_then(|v| v.as_u64())
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| shape(&format!("decomp[{i}]: bad `count`")))?;
+                let mask = entry
+                    .get("ports")
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| shape(&format!("decomp[{i}]: bad `ports`")))?;
+                let ports = PortSet::from_mask(mask);
+                if !ports.is_subset_of(valid) {
+                    return Err(shape(&format!(
+                        "decomp[{i}]: ports {ports} outside the {num_ports}-port machine"
+                    )));
+                }
+                parsed.push(UopEntry::new(count, ports));
+            }
+            decomp.push(parsed);
+        }
+        Ok(ThreeLevelMapping::new(num_ports, decomp))
+    }
+
     /// Samples a random mapping as in the paper's population
     /// initialization (§4.4): for each instruction, 1 to `|P|` distinct
     /// random µops, each with multiplicity in `[1, ⌈t*(i) · |u|⌉]` where
@@ -310,6 +393,26 @@ impl ThreeLevelMapping {
         ThreeLevelMapping::new(num_ports, decomp)
     }
 }
+
+/// Failure to read a [`ThreeLevelMapping`] from JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingJsonError {
+    /// The input was not valid JSON.
+    Parse(crate::json::ParseError),
+    /// The JSON was valid but not a mapping of the expected shape.
+    Shape(String),
+}
+
+impl std::fmt::Display for MappingJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingJsonError::Parse(e) => write!(f, "{e}"),
+            MappingJsonError::Shape(msg) => write!(f, "invalid mapping JSON: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MappingJsonError {}
 
 #[cfg(test)]
 mod tests {
@@ -437,10 +540,30 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let m = figure4_mapping();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: ThreeLevelMapping = serde_json::from_str(&json).unwrap();
-        assert_eq!(m, back);
+        for json in [m.to_json(), m.to_json_pretty()] {
+            let back = ThreeLevelMapping::from_json(&json).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn json_rejects_garbage_and_bad_shapes() {
+        assert!(matches!(
+            ThreeLevelMapping::from_json("not json"),
+            Err(MappingJsonError::Parse(_))
+        ));
+        assert!(matches!(
+            ThreeLevelMapping::from_json("{\"decomp\":[]}"),
+            Err(MappingJsonError::Shape(_))
+        ));
+        // Ports outside the declared machine must not pass validation.
+        assert!(matches!(
+            ThreeLevelMapping::from_json(
+                "{\"num_ports\":2,\"decomp\":[[{\"count\":1,\"ports\":8}]]}"
+            ),
+            Err(MappingJsonError::Shape(_))
+        ));
     }
 }

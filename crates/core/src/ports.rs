@@ -21,8 +21,6 @@ pub const MAX_PORTS: usize = 64;
     PartialOrd,
     Ord,
     Hash,
-    serde::Serialize,
-    serde::Deserialize,
 )]
 pub struct PortId(pub u8);
 
@@ -67,8 +65,6 @@ impl fmt::Display for PortId {
     Ord,
     Hash,
     Default,
-    serde::Serialize,
-    serde::Deserialize,
 )]
 pub struct PortSet(u64);
 

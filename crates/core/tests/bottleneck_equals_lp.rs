@@ -49,6 +49,9 @@ fn experiment(num_insts: usize) -> impl Strategy<Value = Experiment> {
 }
 
 proptest! {
+    // Case budget: capped so the whole workspace suite stays well under
+    // a minute; override downward with PROPTEST_CASES=<n> (see vendored
+    // proptest). Cases are drawn from a per-test deterministic seed.
     #![proptest_config(ProptestConfig::with_cases(400))]
 
     /// Appendix A, two-level: bottleneck == LP optimum.

@@ -30,6 +30,9 @@ fn mapping_strategy(num_ports: usize, num_insts: usize) -> impl Strategy<Value =
 }
 
 proptest! {
+    // Case budget: capped so the whole workspace suite stays well under
+    // a minute; override downward with PROPTEST_CASES=<n> (see vendored
+    // proptest). Cases are drawn from a per-test deterministic seed.
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// Experiment generation covers every unordered pair exactly once

@@ -10,7 +10,7 @@ use std::fmt;
 /// decompositions and latencies per class (and width); PMEvo itself never
 /// sees this information — it only observes throughputs.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub enum OpClass {
     /// Simple integer arithmetic/logic (add, sub, and, or, xor, cmp, ...).
@@ -93,7 +93,7 @@ impl fmt::Display for OpClass {
 /// decompositions (e.g. `add` vs `adc`, or the `BTx` family) carry
 /// different quirk values, which the machine model translates into
 /// distinct ground-truth decompositions. PMEvo never reads it.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct InstructionForm {
     /// Mnemonic plus operand-type suffix, e.g. `add_r64_r64`.
     pub name: String,
@@ -181,7 +181,7 @@ impl fmt::Display for InstructionForm {
 /// assert_eq!(id, InstId(0));
 /// assert_eq!(isa.form(id).class, OpClass::IntAlu);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstructionSet {
     name: String,
     forms: Vec<InstructionForm>,

@@ -19,7 +19,7 @@ use pmevo_core::{Experiment, InstId};
 pub const DEFAULT_BODY_LEN: usize = 50;
 
 /// One concrete, register-allocated instruction instance in a loop body.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KernelInst {
     /// The instruction form this instance was instantiated from.
     pub inst: InstId,
@@ -33,7 +33,7 @@ pub struct KernelInst {
 
 /// A register-allocated loop body ready for execution on the machine
 /// simulator.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Kernel {
     insts: Vec<KernelInst>,
     instances_per_iter: u32,

@@ -8,7 +8,7 @@ use std::fmt;
 /// appropriate register class to each register operand"; classes never
 /// alias, so dependencies only arise within a class.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub enum RegClass {
     /// General-purpose integer registers.
@@ -37,7 +37,7 @@ impl fmt::Display for RegClass {
 /// paper's instruction selection (§5.1.2: "all instruction variants that
 /// operate on subregisters" are dropped).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub enum Width {
     /// 32-bit operand.
@@ -70,7 +70,7 @@ impl fmt::Display for Width {
 
 /// How an instruction accesses an operand placeholder.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash,
 )]
 pub enum Access {
     /// Operand is only read.
@@ -95,7 +95,7 @@ impl Access {
 
 /// A typed operand placeholder of an instruction form (paper §4.1).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash,
 )]
 pub enum OperandKind {
     /// A register operand of the given class and width.
@@ -180,7 +180,7 @@ impl fmt::Display for OperandKind {
 
 /// A concrete architectural register, produced by register allocation.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct Reg {
     /// Register class.
@@ -203,7 +203,7 @@ impl fmt::Display for Reg {
 /// The allocator keeps base registers dedicated and rotates offsets so that
 /// memory accesses of different instructions never alias (paper §4.2).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash,
 )]
 pub struct MemRef {
     /// Base-pointer register (always read, never written).

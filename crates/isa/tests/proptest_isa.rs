@@ -16,6 +16,9 @@ fn experiment_strategy(num_insts: usize) -> impl Strategy<Value = Experiment> {
 }
 
 proptest! {
+    // Case budget: capped so the whole workspace suite stays well under
+    // a minute; override downward with PROPTEST_CASES=<n> (see vendored
+    // proptest). Cases are drawn from a per-test deterministic seed.
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// No instruction reads a register written by any of the previous

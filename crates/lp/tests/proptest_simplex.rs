@@ -67,6 +67,9 @@ fn objective_of(p: &Problem, x: &[f64]) -> f64 {
 }
 
 proptest! {
+    // Case budget: capped so the whole workspace suite stays well under
+    // a minute; override downward with PROPTEST_CASES=<n> (see vendored
+    // proptest). Cases are drawn from a per-test deterministic seed.
     #![proptest_config(ProptestConfig::with_cases(512))]
 
     #[test]

@@ -12,7 +12,7 @@ use pmevo_core::{InstId, PortSet, ThreeLevelMapping, UopEntry};
 use pmevo_isa::{synth, InstructionForm, InstructionSet, OpClass};
 
 /// Descriptive metadata of a platform (the rows of paper Table 1).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformInfo {
     /// Manufacturer analog (e.g. `"Intel-like"`).
     pub manufacturer: String,

@@ -20,7 +20,7 @@ use std::fmt;
 /// assert_eq!(h.total(), 2);
 /// assert!(h.diagonal_fraction(1) >= 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Heatmap {
     bins: usize,
     limit_milli: u64, // fixed-point to keep Eq; limit in 1/1000ths

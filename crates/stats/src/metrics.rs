@@ -97,7 +97,7 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
 
 /// The (MAPE, Pearson, Spearman) triple reported per tool and platform in
 /// paper Tables 3 and 4.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccuracySummary {
     /// Mean absolute percentage error, in percent.
     pub mape: f64,

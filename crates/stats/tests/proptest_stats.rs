@@ -13,6 +13,9 @@ fn sample_pairs() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
 }
 
 proptest! {
+    // Case budget: capped so the whole workspace suite stays well under
+    // a minute; override downward with PROPTEST_CASES=<n> (see vendored
+    // proptest). Cases are drawn from a per-test deterministic seed.
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]

@@ -66,7 +66,7 @@ fn load_mapping(args: &[String], platform: &Platform) -> Result<ThreeLevelMappin
             return Err(ExitCode::from(1));
         }
     };
-    let mapping: ThreeLevelMapping = match serde_json::from_str(&data) {
+    let mapping = match ThreeLevelMapping::from_json(&data) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("cannot parse {path}: {e}");
@@ -171,7 +171,7 @@ fn cmd_infer(args: &[String]) -> ExitCode {
         result.num_classes,
         result.num_distinct_uops()
     );
-    let json = serde_json::to_string_pretty(&result.mapping).expect("mapping serializes");
+    let json = result.mapping.to_json_pretty();
     if let Err(e) = std::fs::write(&out, json) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;

@@ -9,6 +9,9 @@ use pmevo::machine::{platforms, simulate_kernel, MeasureConfig, Measurer};
 use pmevo::stats::spearman;
 
 proptest! {
+    // Case budget: capped so the whole workspace suite stays well under
+    // a minute; override downward with PROPTEST_CASES=<n> (see vendored
+    // proptest). Cases are drawn from a per-test deterministic seed.
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The paper's Figure 6 premise: for short dependency-free

@@ -1,0 +1,212 @@
+//! Offline stand-in for the crates.io `criterion` crate (0.5 API surface).
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the subset of criterion that the PMEvo benches use:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`]/[`bench_with_input`](BenchmarkGroup::bench_with_input),
+//! [`BenchmarkId`] and [`Bencher::iter`].
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up
+//! briefly, then timed in batches until a fixed time budget is spent, and
+//! the mean/min per-iteration time is printed to stdout. There are no
+//! statistics, plots or saved baselines — the point is that `cargo bench`
+//! runs and reports stable, comparable numbers offline. Set
+//! `CRITERION_BUDGET_MS` to change the per-benchmark time budget.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Top-level benchmark driver. One instance is threaded through every
+/// `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts and ignores harness CLI arguments (`--bench`, filters).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 100 }
+    }
+
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&name.into(), 100, &mut f);
+        self
+    }
+
+    /// Criterion's post-run hook; a no-op here (no plots to emit).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of related benchmarks, printed under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower bound on timed iterations (smaller for very slow benches).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark label: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; [`iter`](Bencher::iter) times the
+/// routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    min_samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: a few unrecorded runs so cold caches don't pollute the
+        // first sample.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + budget();
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if self.samples.len() >= self.min_samples && Instant::now() >= deadline {
+                break;
+            }
+            // Hard cap so a pathologically slow routine still terminates.
+            if self.samples.len() >= 1_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, min_samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::new(), min_samples };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{label:<50} mean {:>12?}  min {:>12?}  ({} samples)",
+        mean,
+        min,
+        b.samples.len()
+    );
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        std::env::set_var("CRITERION_BUDGET_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

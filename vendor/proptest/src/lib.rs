@@ -1,0 +1,410 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! Provides the subset of the proptest 1.x API used by the PMEvo test
+//! pyramid: the [`proptest!`] macro, `prop_assert*` macros, the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, [`Just`], [`prop_oneof!`] and [`collection::vec`].
+//!
+//! Differences from real proptest, deliberate for this offline stub:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   embedded in the assertion message instead of a minimized example.
+//! * **Deterministic by construction.** Each `proptest!` test derives its
+//!   RNG seed from the test's own name (FNV-1a), so a suite run is
+//!   reproducible run-to-run and independent of test execution order.
+//! * `PROPTEST_CASES` (env) overrides the per-test case count downward,
+//!   which CI uses to keep wall-clock bounded.
+
+use rand::rngs::StdRng;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Deterministic RNG for one `proptest!` test body (macro plumbing).
+#[doc(hidden)]
+pub fn rng_for_test(seed: u64) -> StdRng {
+    use rand::SeedableRng;
+    StdRng::seed_from_u64(seed)
+}
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Effective case count: the configured count, capped by `PROPTEST_CASES`
+/// if that env var is set to a smaller value.
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => match v.parse::<u32>() {
+            Ok(n) => configured.min(n.max(1)),
+            Err(_) => configured,
+        },
+        Err(_) => configured,
+    }
+}
+
+/// Stable, order-independent per-test seed (FNV-1a over the test path).
+pub fn seed_for_test(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Explicit failure/rejection of one test case, for bodies that use the
+/// `Result` return convention (`return Err(TestCaseError::fail(..))`).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed.
+    Fail(String),
+    /// The case asked to be discarded. The stub treats this as a pass
+    /// (it does not draw a replacement case).
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl std::fmt::Display) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    pub fn reject(reason: impl std::fmt::Display) -> Self {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree: `generate` draws a value
+/// directly and failures are reported un-shrunk.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between boxed alternative strategies ([`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Size argument of [`vec`]: a fixed length or a (half-open or
+    /// inclusive) range of lengths.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty vec size range");
+            SizeRange { lo, hi_inclusive: hi }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `size` and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($arm) as Box<dyn $crate::Strategy<Value = _>>,)+
+        ])
+    };
+}
+
+/// The test-block macro. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `cases` inputs from a deterministically
+/// seeded [`StdRng`](rand::rngs::StdRng) and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl ($cfg); $($rest)* }
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let cases = $crate::resolve_cases(config.cases);
+            let seed = $crate::seed_for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut rng = $crate::rng_for_test(seed);
+            for _case in 0..cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)*
+                // Bodies may `return Err(TestCaseError::...)` like in real
+                // proptest; plain `()` bodies fall through to `Ok(())`. The
+                // closure is what scopes those `return`s, so it must stay.
+                #[allow(clippy::redundant_closure_call)]
+                let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match result {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err(e) => panic!("{e}"),
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! { @impl ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a = crate::seed_for_test("mod::a");
+        assert_eq!(a, crate::seed_for_test("mod::a"));
+        assert_ne!(a, crate::seed_for_test("mod::b"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn vec_strategy_respects_size((n, v) in (2usize..5).prop_flat_map(|n| {
+            (Just(n), collection::vec(0.0..1.0f64, n))
+        })) {
+            prop_assert_eq!(v.len(), n);
+            for x in v {
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn oneof_hits_all_arms(x in prop_oneof![Just(1u32), Just(2u32)], y in 0u32..10) {
+            prop_assert!(x == 1u32 || x == 2u32);
+            prop_assert!(y < 10);
+        }
+    }
+}
