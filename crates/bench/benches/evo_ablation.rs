@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmevo_core::bottleneck::{lp_throughput, throughput_naive};
 use pmevo_core::{Experiment, InstId, MeasuredExperiment, ThreeLevelMapping};
-use pmevo_evo::{average_relative_error, evolve, EvoConfig};
+use pmevo_evo::{average_relative_error, evolve, EvoConfig, FitnessEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -48,6 +48,10 @@ fn bench_fitness_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("fitness_davg");
     group.bench_function("bottleneck_fast", |b| {
         b.iter(|| black_box(average_relative_error(&gt, &measured)))
+    });
+    group.bench_function("compiled_engine", |b| {
+        let mut engine = FitnessEngine::new(&measured, 1);
+        b.iter(|| black_box(engine.evaluate(&gt).error))
     });
     group.bench_function("bottleneck_naive", |b| {
         b.iter(|| {

@@ -1,0 +1,319 @@
+//! Criterion group for the batched fitness-evaluation engine (ISSUE 2):
+//!
+//! * `single_eval`  — one mapping × 200 experiments, naive reference vs
+//!   the engine's compiled path;
+//! * `batch_64x200` — a 64-candidate pool, the pre-refactor
+//!   implementation (OS threads spawned per call, every evaluation
+//!   re-allocating mass vectors and the zeta buffer) vs the persistent
+//!   worker pool;
+//! * `delta_eval`   — re-scoring a single-instruction mutation, full
+//!   re-evaluation vs the inverse-index delta path.
+//!
+//! Besides the criterion output, `main` re-times the same six routines
+//! and writes a `BENCH_fitness.json` snapshot to the workspace root so
+//! later PRs have a perf trajectory to compare against.
+
+use criterion::{criterion_group, Criterion};
+use pmevo_core::json::Value;
+use pmevo_core::{Experiment, InstId, MeasuredExperiment, ThreeLevelMapping};
+use pmevo_evo::{ErrorCache, FitnessEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NUM_INSTS: usize = 20;
+const NUM_PORTS: usize = 8;
+const NUM_EXPERIMENTS: usize = 200;
+const POOL_SIZE: usize = 64;
+
+/// A 20-instruction, 8-port ground truth with 200 measured experiments
+/// (singletons, then pairs in two multiplicity shapes).
+fn training_set() -> (ThreeLevelMapping, Vec<MeasuredExperiment>) {
+    let mut rng = StdRng::seed_from_u64(0xF17);
+    let indiv = vec![1.0; NUM_INSTS];
+    let gt = ThreeLevelMapping::sample_random(&mut rng, NUM_INSTS, NUM_PORTS, &indiv);
+    let mut exps = Vec::new();
+    for i in 0..NUM_INSTS as u32 {
+        exps.push(Experiment::singleton(InstId(i)));
+    }
+    'pairs: for a in 0..NUM_INSTS as u32 {
+        for b in (a + 1)..NUM_INSTS as u32 {
+            for (m, n) in [(1, 1), (2, 1)] {
+                if exps.len() >= NUM_EXPERIMENTS {
+                    break 'pairs;
+                }
+                exps.push(Experiment::pair(InstId(a), m, InstId(b), n));
+            }
+        }
+    }
+    assert_eq!(exps.len(), NUM_EXPERIMENTS);
+    let measured = exps
+        .into_iter()
+        .map(|e| {
+            let t = gt.throughput(&e);
+            MeasuredExperiment::new(e, t)
+        })
+        .collect();
+    (gt, measured)
+}
+
+/// A pool of random candidates, as the evolutionary loop would score.
+fn candidate_pool() -> Vec<ThreeLevelMapping> {
+    let indiv = vec![1.0; NUM_INSTS];
+    (0..POOL_SIZE)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(0xBA7C4 + i as u64);
+            ThreeLevelMapping::sample_random(&mut rng, NUM_INSTS, NUM_PORTS, &indiv)
+        })
+        .collect()
+}
+
+/// `gt` with one single-instruction mutation (the hill climber's move).
+fn mutated(gt: &ThreeLevelMapping) -> ThreeLevelMapping {
+    let mut m = gt.clone();
+    let mut entries = m.decomposition(InstId(0)).to_vec();
+    entries[0].count += 1;
+    m.set_decomposition(InstId(0), entries);
+    m
+}
+
+/// Frozen snapshot of the seed (pre-ISSUE-2) implementation, kept
+/// verbatim as the benchmark baseline: `FitnessEvaluator::evaluate_batch`
+/// spawned OS threads per call, and every evaluation re-built a
+/// `MassVector`, collected a compacted copy and allocated a fresh
+/// zeta-transform buffer, with one division per enumerated subset.
+/// Re-deriving the baseline from today's `average_relative_error` would
+/// silently inherit this PR's kernel improvements and flatter nothing —
+/// the point of the group is new engine vs what the evolutionary loop
+/// actually ran before.
+mod pre_refactor {
+    use pmevo_core::bottleneck::MassVector;
+    use pmevo_core::{MeasuredExperiment, PortSet, ThreeLevelMapping, MAX_PORTS};
+    use pmevo_evo::Objectives;
+
+    fn compact(masses: &MassVector, live: PortSet) -> Vec<(u32, f64)> {
+        let mut position = [0u8; MAX_PORTS];
+        for (dense, p) in live.iter().enumerate() {
+            position[p] = dense as u8;
+        }
+        masses
+            .iter()
+            .map(|(ports, mass)| {
+                let mut mask = 0u32;
+                for p in ports.iter() {
+                    mask |= 1 << position[p];
+                }
+                (mask, mass)
+            })
+            .collect()
+    }
+
+    fn throughput_fast(masses: &MassVector) -> f64 {
+        let live = masses.live_ports();
+        let k = live.len();
+        if k == 0 {
+            return 0.0;
+        }
+        let size = 1usize << k;
+        let mut sum = vec![0.0f64; size];
+        for (mask, mass) in compact(masses, live) {
+            sum[mask as usize] += mass;
+        }
+        for bit in 0..k {
+            let b = 1usize << bit;
+            for q in 0..size {
+                if q & b != 0 {
+                    sum[q] += sum[q ^ b];
+                }
+            }
+        }
+        let mut best = 0.0f64;
+        for (q, &s) in sum.iter().enumerate().skip(1) {
+            let t = s / (q.count_ones() as f64);
+            if t > best {
+                best = t;
+            }
+        }
+        best
+    }
+
+    fn average_relative_error(
+        mapping: &ThreeLevelMapping,
+        experiments: &[MeasuredExperiment],
+    ) -> f64 {
+        let sum: f64 = experiments
+            .iter()
+            .map(|me| {
+                let predicted = throughput_fast(&mapping.uop_masses(&me.experiment));
+                (predicted - me.throughput).abs() / me.throughput
+            })
+            .sum();
+        sum / experiments.len() as f64
+    }
+
+    pub fn evaluate(mapping: &ThreeLevelMapping, experiments: &[MeasuredExperiment]) -> Objectives {
+        Objectives {
+            error: average_relative_error(mapping, experiments),
+            volume: mapping.volume(),
+        }
+    }
+
+    pub fn evaluate_batch(
+        experiments: &[MeasuredExperiment],
+        mappings: &[ThreeLevelMapping],
+        num_threads: usize,
+    ) -> Vec<Objectives> {
+        let threads = num_threads.min(mappings.len());
+        if threads == 1 {
+            return mappings.iter().map(|m| evaluate(m, experiments)).collect();
+        }
+        let chunk = mappings.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(mappings.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = mappings
+                .chunks(chunk)
+                .map(|ms| {
+                    scope.spawn(move || {
+                        ms.iter()
+                            .map(|m| evaluate(m, experiments))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("fitness worker panicked"));
+            }
+        });
+        out
+    }
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn bench_fitness_engine(c: &mut Criterion) {
+    let (gt, measured) = training_set();
+    let pool = Arc::new(candidate_pool());
+    let mutant = mutated(&gt);
+    let mut engine = FitnessEngine::new(&measured, threads());
+    let mut engine1 = FitnessEngine::new(&measured, 1);
+    let cache = engine1.build_cache(&gt);
+
+    let mut group = c.benchmark_group("fitness_engine");
+    group.bench_function("single_eval/legacy", |b| {
+        b.iter(|| black_box(pre_refactor::evaluate(&gt, &measured).error))
+    });
+    group.bench_function("single_eval/engine", |b| {
+        b.iter(|| black_box(engine1.evaluate(&gt).error))
+    });
+    group.sample_size(20);
+    group.bench_function("batch_64x200/legacy", |b| {
+        b.iter(|| black_box(pre_refactor::evaluate_batch(&measured, &pool, threads()).len()))
+    });
+    group.bench_function("batch_64x200/engine", |b| {
+        b.iter(|| black_box(engine.evaluate_batch(&pool).len()))
+    });
+    group.sample_size(100);
+    group.bench_function("delta_eval/full_reeval", |b| {
+        b.iter(|| black_box(pre_refactor::evaluate(&mutant, &measured).error))
+    });
+    group.bench_function("delta_eval/engine", |b| {
+        b.iter(|| black_box(engine1.try_update(&mutant, &cache, InstId(0)).error))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fitness_engine);
+
+/// Times `f` for roughly `budget` and returns the mean ns per call.
+fn mean_ns(budget: Duration, mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget || iters == 0 {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn snapshot_entry(label: &str, legacy_ns: f64, engine_ns: f64) -> Value {
+    Value::Obj(vec![
+        (format!("{label}_legacy_ns"), Value::Num(legacy_ns.round())),
+        (format!("{label}_engine_ns"), Value::Num(engine_ns.round())),
+        (
+            format!("{label}_speedup"),
+            Value::Num((legacy_ns / engine_ns * 100.0).round() / 100.0),
+        ),
+    ])
+}
+
+/// Re-times the six routines and writes `BENCH_fitness.json` at the
+/// workspace root, the perf-trajectory artifact for later PRs.
+fn write_snapshot() {
+    let (gt, measured) = training_set();
+    let pool = Arc::new(candidate_pool());
+    let mutant = mutated(&gt);
+    let mut engine = FitnessEngine::new(&measured, threads());
+    let mut engine1 = FitnessEngine::new(&measured, 1);
+    let cache: ErrorCache = engine1.build_cache(&gt);
+    let budget = Duration::from_millis(300);
+
+    let single_legacy = mean_ns(budget, || {
+        black_box(pre_refactor::evaluate(&gt, &measured).error);
+    });
+    let single_engine = mean_ns(budget, || {
+        black_box(engine1.evaluate(&gt).error);
+    });
+    let batch_legacy = mean_ns(budget, || {
+        black_box(pre_refactor::evaluate_batch(&measured, &pool, threads()).len());
+    });
+    let batch_engine = mean_ns(budget, || {
+        black_box(engine.evaluate_batch(&pool).len());
+    });
+    let delta_full = mean_ns(budget, || {
+        black_box(pre_refactor::evaluate(&mutant, &measured).error);
+    });
+    let delta_engine = mean_ns(budget, || {
+        black_box(engine1.try_update(&mutant, &cache, InstId(0)).error);
+    });
+
+    let mut fields = vec![
+        ("workload".to_string(),
+         Value::Str(format!(
+             "{POOL_SIZE} candidates x {NUM_EXPERIMENTS} experiments, {NUM_INSTS} insts, {NUM_PORTS} ports"
+         ))),
+        ("threads".to_string(), Value::UInt(threads() as u64)),
+    ];
+    for entry in [
+        snapshot_entry("single_eval", single_legacy, single_engine),
+        snapshot_entry("batch_64x200", batch_legacy, batch_engine),
+        snapshot_entry("delta_eval", delta_full, delta_engine),
+    ] {
+        if let Value::Obj(kvs) = entry {
+            fields.extend(kvs);
+        }
+    }
+    let json = pmevo_core::json::write_pretty(&Value::Obj(fields));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fitness.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_fitness.json");
+    println!("snapshot written to {path}");
+    println!(
+        "batch_64x200 speedup: {:.2}x  (legacy {:.1} ms -> engine {:.1} ms)",
+        batch_legacy / batch_engine,
+        batch_legacy / 1e6,
+        batch_engine / 1e6
+    );
+}
+
+fn main() {
+    benches();
+    write_snapshot();
+}

@@ -14,9 +14,12 @@
 //!           (Σ { e(u) | Ports(u) ⊆ Q }) / |Q|
 //! ```
 //!
-//! [`throughput_fast`] aggregates masses per port-subset and uses a
-//! subset-sum (zeta) transform, so its cost is `Θ(|P| · 2^|P|)` independent
-//! of the number of µops; [`throughput_naive`] re-scans all µops for every
+//! [`throughput_fast`] aggregates masses per port-subset and then either
+//! enumerates only the *unions* of µop port sets (`Θ(d · 2^d)` for `d`
+//! distinct µops — the optimal bottleneck set is always such a union) or
+//! falls back to a subset-sum (zeta) transform over the live ports
+//! (`Θ(|P| · 2^|P|)` independent of the number of µops);
+//! [`throughput_naive`] re-scans all µops for every
 //! subset (`Θ(2^|P|) · |µops|`) and exists as the ablation baseline;
 //! [`lp_throughput`] solves the linear program with the simplex solver and
 //! is the reference for correctness tests and the Figure 8 comparison.
@@ -67,6 +70,18 @@ impl MassVector {
     ///
     /// Zero-mass additions and empty port sets with zero mass are ignored.
     ///
+    /// # Complexity
+    ///
+    /// Entries are kept sorted by [`PortSet`], so merging with an existing
+    /// µop costs `O(log n)` (binary search) and inserting a new one costs
+    /// `O(n)` (shift), where `n` is the number of *distinct* port sets —
+    /// in practice a handful, bounded by the experiment's µop diversity,
+    /// not by its total mass. The sorted order is also what makes
+    /// structural equality semantic equality and keeps downstream
+    /// iteration deterministic. (The batched evaluation path in
+    /// [`crate::ThroughputSolver`] skips this merge entirely and
+    /// bucketizes masses straight into the zeta-transform array.)
+    ///
     /// # Panics
     ///
     /// Panics if `mass` is negative or if `ports` is empty while `mass` is
@@ -84,6 +99,13 @@ impl MassVector {
             Ok(idx) => self.items[idx].1 += mass,
             Err(idx) => self.items.insert(idx, (ports, mass)),
         }
+    }
+
+    /// Removes every entry while keeping the allocation, so the vector
+    /// can be refilled without touching the heap (the reuse pattern of
+    /// [`crate::ThroughputSolver`]).
+    pub fn clear(&mut self) {
+        self.items.clear();
     }
 
     /// Number of distinct µops (distinct port sets).
@@ -155,13 +177,170 @@ fn compact(masses: &MassVector, live: PortSet) -> Vec<(u32, f64)> {
         .collect()
 }
 
-/// Computes `t*_m(e)` with the bottleneck simulation algorithm using mass
-/// aggregation and a subset-sum transform.
+/// Computes Equation 1 from compacted, distinct, ascending
+/// `(mask, mass)` entries over `k` live ports, choosing the cheapest of
+/// three exact strategies by predicted operation count:
+///
+/// * **Union-closure enumeration** (`Θ(d · 2^d)` for `d` distinct µops):
+///   the optimal bottleneck set `Q*` can always be taken as the union of
+///   the µop port sets it contains (shrinking `Q*` to that union keeps
+///   the numerator and can only shrink `|Q|`), so enumerating the `2^d`
+///   unions suffices. For the singleton and pair experiments of the
+///   paper's experiment scheme `d` is 1–6 while machines have 8–10
+///   ports, making this the evolutionary hot path.
+/// * **Superset scatter** (`Θ(Σ_i 2^(k − |mask_i|) + 2^k)`): add each
+///   mass directly to every superset of its mask, then scan. Wins when
+///   µops are moderately many but wide, so the subset lattice stays
+///   sparse.
+/// * **Zeta transform** (`Θ(k · 2^k)`, independent of `d`) as the dense
+///   fallback.
+///
+/// The choice is a pure function of `(entries, k)`, so every caller gets
+/// the same strategy — and the same bits — for the same input. `sum` and
+/// `unions` are caller-owned scratch so the hot path can reuse them
+/// ([`crate::ThroughputSolver`]); they are grown on demand.
+pub(crate) fn kernel_from_compacted(
+    entries: &[(u32, f64)],
+    k: usize,
+    sum: &mut Vec<f64>,
+    unions: &mut Vec<u32>,
+) -> f64 {
+    let d = entries.len();
+    let size = 1usize << k;
+    let zeta_cost = (k as u64 + 1) << k;
+    let scatter_cost = (size as u64)
+        + entries
+            .iter()
+            .map(|&(mask, _)| 1u64 << (k - mask.count_ones() as usize))
+            .sum::<u64>();
+    if d < 16 && (d as u64) << d < zeta_cost.min(scatter_cost) {
+        return union_closure_max(entries, k, unions);
+    }
+    if sum.len() < size {
+        sum.resize(size, 0.0);
+    }
+    let sum = &mut sum[..size];
+    sum.fill(0.0);
+    if scatter_cost < zeta_cost {
+        let full = (size - 1) as u32;
+        for &(mask, mass) in entries {
+            let complement = full & !mask;
+            let mut extra = complement;
+            loop {
+                sum[(mask | extra) as usize] += mass;
+                if extra == 0 {
+                    break;
+                }
+                extra = (extra - 1) & complement;
+            }
+        }
+        return max_quotient(sum, k);
+    }
+    for &(mask, mass) in entries {
+        sum[mask as usize] += mass;
+    }
+    zeta_and_max(sum, k)
+}
+
+/// The union-closure strategy of [`kernel_from_compacted`]: for every
+/// subset `S` of the distinct µops, form `U = ⋃_{i ∈ S} mask_i`
+/// (incrementally, via the subset's lowest member) and score the mass
+/// contained in `U`. Division is deferred to one per subset *size* as in
+/// [`zeta_and_max`], which is exact because division by a positive
+/// constant is monotone.
+fn union_closure_max(entries: &[(u32, f64)], k: usize, unions: &mut Vec<u32>) -> f64 {
+    let d = entries.len();
+    let size = 1usize << d;
+    if unions.len() < size {
+        unions.resize(size, 0);
+    }
+    let unions = &mut unions[..size];
+    unions[0] = 0;
+    let mut best_by_size = [0.0f64; MAX_ENUMERABLE_PORTS + 1];
+    for s in 1..size {
+        let low = s.trailing_zeros() as usize;
+        let u = unions[s & (s - 1)] | entries[low].0;
+        unions[s] = u;
+        let mut contained = 0.0f64;
+        for &(mask, mass) in entries {
+            if mask & !u == 0 {
+                contained += mass;
+            }
+        }
+        let c = u.count_ones() as usize;
+        if contained > best_by_size[c] {
+            best_by_size[c] = contained;
+        }
+    }
+    best_quotient(&best_by_size, k)
+}
+
+/// The dense strategy's tail: runs the zeta (subset-sum) transform in
+/// place over `sum` — afterwards `sum[Q] = Σ { mass(u) | ports(u) ⊆ Q }`
+/// — and returns the best quotient via [`max_quotient`].
+///
+/// The transform walks each bit's set-half in contiguous blocks
+/// (`sum[q..q + b] += sum[q - b..q]` element-wise), which performs the
+/// same additions in the same ascending-`q` order as the textbook masked
+/// loop but without a data-dependent branch per element.
+pub(crate) fn zeta_and_max(sum: &mut [f64], k: usize) -> f64 {
+    let size = 1usize << k;
+    debug_assert_eq!(sum.len(), size);
+    for bit in 0..k {
+        let b = 1usize << bit;
+        let mut q = b;
+        while q < size {
+            let (lo, hi) = sum.split_at_mut(q);
+            for (dst, src) in hi[..b].iter_mut().zip(&lo[q - b..]) {
+                *dst += *src;
+            }
+            q += b << 1;
+        }
+    }
+    max_quotient(sum, k)
+}
+
+/// The best `sum[Q] / |Q|` over non-empty `Q`, with one division per
+/// subset *size* instead of per subset: division by a positive constant
+/// is monotone, so reducing to a per-size maximum first is exact.
+fn max_quotient(sum: &[f64], k: usize) -> f64 {
+    let mut best_by_size = [0.0f64; MAX_ENUMERABLE_PORTS + 1];
+    for (q, &s) in sum.iter().enumerate().skip(1) {
+        let c = q.count_ones() as usize;
+        if s > best_by_size[c] {
+            best_by_size[c] = s;
+        }
+    }
+    best_quotient(&best_by_size, k)
+}
+
+/// Shared tail of the per-size reduction: `max_c best_by_size[c] / c`
+/// over sizes `1..=k`. Every strategy funnels through this one function
+/// so the division/rounding behavior cannot drift between them.
+fn best_quotient(best_by_size: &[f64], k: usize) -> f64 {
+    let mut best = 0.0f64;
+    for (c, &s) in best_by_size.iter().enumerate().take(k + 1).skip(1) {
+        let t = s / (c as f64);
+        if t > best {
+            best = t;
+        }
+    }
+    best
+}
+
+/// Computes `t*_m(e)` with the bottleneck simulation algorithm: mass
+/// aggregation followed by either union-closure enumeration or the
+/// subset-sum transform (see [`kernel_from_compacted`] for the strategy
+/// choice — both are exact).
 ///
 /// Only the *live* ports (those usable by at least one µop with positive
 /// mass) are enumerated; dead ports can never belong to a bottleneck set
 /// `Q*` because removing them from `Q` only increases the quotient of
 /// Equation 1.
+///
+/// Allocates fresh scratch per call; the evolutionary hot loop uses
+/// [`crate::ThroughputSolver`], which reuses its buffers across calls and
+/// returns bit-identical results (same kernel, same compacted input).
 ///
 /// Returns `0.0` for an empty experiment.
 ///
@@ -169,6 +348,27 @@ fn compact(masses: &MassVector, live: PortSet) -> Vec<(u32, f64)> {
 ///
 /// Panics if more than [`MAX_ENUMERABLE_PORTS`] ports are live.
 pub fn throughput_fast(masses: &MassVector) -> f64 {
+    let mut entries = Vec::new();
+    let mut sum = Vec::new();
+    let mut unions = Vec::new();
+    masses_kernel(masses, &mut entries, &mut sum, &mut unions)
+}
+
+/// Compacts a (sorted, duplicate-free) [`MassVector`] over its live ports
+/// and runs [`kernel_from_compacted`] — the single compaction shared by
+/// [`throughput_fast`] (fresh scratch) and the ad-hoc paths of
+/// [`crate::ThroughputSolver`] (reused scratch), so their bit-identity
+/// cannot drift.
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_ENUMERABLE_PORTS`] ports are live.
+pub(crate) fn masses_kernel(
+    masses: &MassVector,
+    entries: &mut Vec<(u32, f64)>,
+    sum: &mut Vec<f64>,
+    unions: &mut Vec<u32>,
+) -> f64 {
     let live = masses.live_ports();
     let k = live.len();
     if k == 0 {
@@ -179,28 +379,19 @@ pub fn throughput_fast(masses: &MassVector) -> f64 {
         "{k} live ports exceed the subset-enumeration limit ({MAX_ENUMERABLE_PORTS}); \
          use lp_throughput instead"
     );
-    let size = 1usize << k;
-    let mut sum = vec![0.0f64; size];
-    for (mask, mass) in compact(masses, live) {
-        sum[mask as usize] += mass;
+    let mut position = [0u8; MAX_PORTS];
+    for (dense, p) in live.iter().enumerate() {
+        position[p] = dense as u8;
     }
-    // Zeta transform: afterwards sum[Q] = Σ { mass(u) | ports(u) ⊆ Q }.
-    for bit in 0..k {
-        let b = 1usize << bit;
-        for q in 0..size {
-            if q & b != 0 {
-                sum[q] += sum[q ^ b];
-            }
+    entries.clear();
+    for (ports, mass) in masses.iter() {
+        let mut mask = 0u32;
+        for p in ports.iter() {
+            mask |= 1 << position[p];
         }
+        entries.push((mask, mass));
     }
-    let mut best = 0.0f64;
-    for (q, &s) in sum.iter().enumerate().skip(1) {
-        let t = s / (q.count_ones() as f64);
-        if t > best {
-            best = t;
-        }
-    }
-    best
+    kernel_from_compacted(entries, k, sum, unions)
 }
 
 /// Computes `t*_m(e)` by direct enumeration: for every non-empty subset of

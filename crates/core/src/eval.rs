@@ -1,0 +1,671 @@
+//! The compile-then-evaluate half of the fitness engine (paper §4.4–4.5).
+//!
+//! PMEvo's wall-clock budget is dominated by the inner loop
+//! `candidate mapping × experiment → t*_m(e)`. The ad-hoc path
+//! ([`ThreeLevelMapping::throughput`]) rebuilds a [`MassVector`] and
+//! allocates a fresh `2^|P|` zeta-transform buffer for every single
+//! evaluation. This module separates *compilation* from *execution* so
+//! that all of that state is built once and reused:
+//!
+//! * [`CompiledExperiments`] interns the instruction ids of a measured
+//!   experiment set into dense indices and stores the per-experiment
+//!   `(instruction, count)` rows in flat arrays — plus the inverse index
+//!   (instruction → experiments containing it) that enables delta
+//!   re-evaluation after a single-instruction mutation.
+//! * [`ThroughputSolver`] owns the mass-aggregation scratch and the
+//!   zeta-transform buffer, so `t*_m(e)` becomes allocation-free once the
+//!   buffers have grown to their steady-state sizes.
+//!
+//! Both halves return **bit-identical** results to the naive reference
+//! path (`uop_masses` + `throughput_fast`): masses are accumulated in the
+//! same order with the same arithmetic, and the enumeration is literally
+//! the same function ([`kernel_from_compacted`]). The equivalence is
+//! enforced by unit tests here and a property test in `pmevo-evo`.
+
+use crate::bottleneck_impl::{
+    kernel_from_compacted, masses_kernel, MassVector, MAX_ENUMERABLE_PORTS,
+};
+use crate::{Experiment, InstId, MeasuredExperiment, PortSet, ThreeLevelMapping, MAX_PORTS};
+
+/// A measured experiment set compiled into dense, flat index form.
+///
+/// Instruction ids are interned in first-occurrence order; every
+/// experiment becomes a row of `(dense instruction, count)` terms in two
+/// parallel flat arrays, with the measured throughput alongside. The
+/// inverse index maps each dense instruction to the (ascending) list of
+/// experiments containing it, which is what makes single-instruction
+/// delta re-evaluation possible: a mutation of instruction `i` can only
+/// change the predictions of `experiments_containing(i)`.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_core::{CompiledExperiments, Experiment, InstId, MeasuredExperiment};
+///
+/// let data = vec![
+///     MeasuredExperiment::new(Experiment::singleton(InstId(3)), 1.0),
+///     MeasuredExperiment::new(Experiment::pair(InstId(3), 2, InstId(5), 1), 2.0),
+/// ];
+/// let compiled = CompiledExperiments::compile(&data);
+/// assert_eq!(compiled.num_experiments(), 2);
+/// assert_eq!(compiled.num_insts(), 2); // ids 3 and 5, interned densely
+/// assert_eq!(compiled.experiments_containing(InstId(5)), &[1]);
+/// assert_eq!(compiled.experiments_containing(InstId(3)), &[0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledExperiments {
+    /// Dense index → original instruction id.
+    inst_ids: Vec<InstId>,
+    /// Original `InstId::index()` → dense index (`u32::MAX` if absent).
+    dense_of: Vec<u32>,
+    /// Row boundaries: experiment `e` owns terms
+    /// `row_offsets[e]..row_offsets[e + 1]`.
+    row_offsets: Vec<u32>,
+    /// Dense instruction index per term.
+    row_insts: Vec<u32>,
+    /// Instruction multiplicity per term, pre-widened to `f64`.
+    row_counts: Vec<f64>,
+    /// Measured throughput per experiment.
+    measured: Vec<f64>,
+    /// Inverse-index boundaries: dense instruction `d` appears in
+    /// experiments `inst_exps[inst_offsets[d]..inst_offsets[d + 1]]`.
+    inst_offsets: Vec<u32>,
+    /// Experiment indices per dense instruction, ascending.
+    inst_exps: Vec<u32>,
+}
+
+impl CompiledExperiments {
+    /// Compiles a measured experiment set into dense flat form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a measured throughput is not positive and finite (such a
+    /// measurement would make the relative error undefined).
+    pub fn compile(experiments: &[MeasuredExperiment]) -> Self {
+        let mut inst_ids: Vec<InstId> = Vec::new();
+        let mut dense_of: Vec<u32> = Vec::new();
+        let mut row_offsets: Vec<u32> = Vec::with_capacity(experiments.len() + 1);
+        let mut row_insts: Vec<u32> = Vec::new();
+        let mut row_counts: Vec<f64> = Vec::new();
+        let mut measured: Vec<f64> = Vec::with_capacity(experiments.len());
+        row_offsets.push(0);
+        for me in experiments {
+            assert!(
+                me.throughput.is_finite() && me.throughput > 0.0,
+                "non-positive measured throughput {} for {}",
+                me.throughput,
+                me.experiment
+            );
+            for (inst, n) in me.experiment.iter() {
+                let slot = inst.index();
+                if slot >= dense_of.len() {
+                    dense_of.resize(slot + 1, u32::MAX);
+                }
+                let dense = if dense_of[slot] == u32::MAX {
+                    let d = inst_ids.len() as u32;
+                    dense_of[slot] = d;
+                    inst_ids.push(inst);
+                    d
+                } else {
+                    dense_of[slot]
+                };
+                row_insts.push(dense);
+                row_counts.push(f64::from(n));
+            }
+            row_offsets.push(row_insts.len() as u32);
+            measured.push(me.throughput);
+        }
+
+        // Inverse index by counting sort, which leaves each instruction's
+        // experiment list in ascending order.
+        let num_insts = inst_ids.len();
+        let mut inst_offsets = vec![0u32; num_insts + 1];
+        for &d in &row_insts {
+            inst_offsets[d as usize + 1] += 1;
+        }
+        for i in 0..num_insts {
+            inst_offsets[i + 1] += inst_offsets[i];
+        }
+        let mut cursor = inst_offsets.clone();
+        let mut inst_exps = vec![0u32; row_insts.len()];
+        for e in 0..measured.len() {
+            let (lo, hi) = (row_offsets[e] as usize, row_offsets[e + 1] as usize);
+            for &d in &row_insts[lo..hi] {
+                let c = &mut cursor[d as usize];
+                inst_exps[*c as usize] = e as u32;
+                *c += 1;
+            }
+        }
+
+        CompiledExperiments {
+            inst_ids,
+            dense_of,
+            row_offsets,
+            row_insts,
+            row_counts,
+            measured,
+            inst_offsets,
+            inst_exps,
+        }
+    }
+
+    /// Number of compiled experiments.
+    pub fn num_experiments(&self) -> usize {
+        self.measured.len()
+    }
+
+    /// Number of *distinct* instructions appearing in any experiment.
+    pub fn num_insts(&self) -> usize {
+        self.inst_ids.len()
+    }
+
+    /// The interned instruction ids, indexed by dense index.
+    pub fn inst_ids(&self) -> &[InstId] {
+        &self.inst_ids
+    }
+
+    /// The dense index of `inst`, if it appears in any experiment.
+    pub fn dense_of(&self, inst: InstId) -> Option<usize> {
+        match self.dense_of.get(inst.index()) {
+            Some(&d) if d != u32::MAX => Some(d as usize),
+            _ => None,
+        }
+    }
+
+    /// The measured throughput of experiment `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn measured(&self, e: usize) -> f64 {
+        self.measured[e]
+    }
+
+    /// All measured throughputs, indexed by experiment.
+    pub fn measured_all(&self) -> &[f64] {
+        &self.measured
+    }
+
+    /// The `(instruction, count)` terms of experiment `e`, in the
+    /// (ascending-id) order of the source [`Experiment`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn row(&self, e: usize) -> impl Iterator<Item = (InstId, f64)> + '_ {
+        let (lo, hi) = self.row_bounds(e);
+        self.row_insts[lo..hi]
+            .iter()
+            .zip(&self.row_counts[lo..hi])
+            .map(|(&d, &n)| (self.inst_ids[d as usize], n))
+    }
+
+    /// The experiments containing `inst`, ascending. Empty when `inst`
+    /// appears in no experiment (then a mutation of `inst` cannot change
+    /// any prediction).
+    pub fn experiments_containing(&self, inst: InstId) -> &[u32] {
+        match self.dense_of(inst) {
+            Some(d) => {
+                let (lo, hi) = (
+                    self.inst_offsets[d] as usize,
+                    self.inst_offsets[d + 1] as usize,
+                );
+                &self.inst_exps[lo..hi]
+            }
+            None => &[],
+        }
+    }
+
+    fn row_bounds(&self, e: usize) -> (usize, usize) {
+        (
+            self.row_offsets[e] as usize,
+            self.row_offsets[e + 1] as usize,
+        )
+    }
+}
+
+/// Reusable execution state of the bottleneck algorithm: after warm-up,
+/// every throughput computation and every fitness evaluation through this
+/// solver is free of heap allocations.
+///
+/// The solver owns four kinds of scratch:
+///
+/// * the kernel buffers (zeta-transform window and union table, grown to
+///   the largest sizes seen),
+/// * the compacted `(mask, mass)` aggregation table,
+/// * a [`MassVector`] for the ad-hoc [`mapping_throughput`] path,
+/// * the *loaded mapping*: the candidate's µop decompositions flattened
+///   into dense arrays, indexed by [`CompiledExperiments`] dense
+///   instruction indices (see [`load_mapping`]).
+///
+/// Mass aggregation in the compiled path does not build a
+/// [`MassVector`] of port sets — masses are compacted to dense masks on
+/// the fly and merged in the reused aggregation table, which is exactly
+/// equivalent (compaction is injective and monotone on subsets of the
+/// live ports, so per-µop addition order is preserved).
+///
+/// One solver per thread: the evolutionary engine gives each of its
+/// workers its own solver and reuses them across all generations.
+///
+/// [`mapping_throughput`]: Self::mapping_throughput
+/// [`load_mapping`]: Self::load_mapping
+///
+/// # Example
+///
+/// ```
+/// use pmevo_core::bottleneck::{throughput_fast, MassVector};
+/// use pmevo_core::{PortSet, ThroughputSolver};
+///
+/// let mut mv = MassVector::new();
+/// mv.add(PortSet::from_ports(&[0, 1]), 2.0);
+/// mv.add(PortSet::from_ports(&[0]), 1.0);
+/// let mut solver = ThroughputSolver::new();
+/// assert_eq!(solver.throughput(&mv), throughput_fast(&mv));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputSolver {
+    /// Zeta-transform buffer; only `sum[..1 << k]` is used per call.
+    sum: Vec<f64>,
+    /// Union table of the union-closure strategy; `unions[..1 << d]`.
+    unions: Vec<u32>,
+    /// Compacted `(mask, mass)` aggregation table, ascending by mask.
+    entries: Vec<(u32, f64)>,
+    /// Mass aggregation scratch for the ad-hoc (non-compiled) path.
+    masses: MassVector,
+    /// Loaded mapping: µop bundle boundaries per dense instruction.
+    dec_offsets: Vec<u32>,
+    /// Loaded mapping: port set per µop bundle.
+    dec_ports: Vec<PortSet>,
+    /// Loaded mapping: bundle multiplicity, pre-widened to `f64`.
+    dec_counts: Vec<f64>,
+    /// Loaded mapping: union of port sets per dense instruction.
+    dec_unions: Vec<PortSet>,
+}
+
+impl ThroughputSolver {
+    /// Creates a solver with empty scratch buffers.
+    pub fn new() -> Self {
+        ThroughputSolver::default()
+    }
+
+    /// Computes `t*_m(e)` of a prepared mass vector; bit-identical to
+    /// [`throughput_fast`](crate::bottleneck::throughput_fast) but reuses
+    /// the solver's scratch buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_ENUMERABLE_PORTS`] ports are live.
+    pub fn throughput(&mut self, masses: &MassVector) -> f64 {
+        masses_kernel(masses, &mut self.entries, &mut self.sum, &mut self.unions)
+    }
+
+    /// Computes `t*_m(e)` of `e` under `mapping` — the reusable-state
+    /// equivalent of [`ThreeLevelMapping::throughput`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` references an instruction outside the mapping or
+    /// more than [`MAX_ENUMERABLE_PORTS`] ports are live.
+    pub fn mapping_throughput(&mut self, mapping: &ThreeLevelMapping, e: &Experiment) -> f64 {
+        self.masses.clear();
+        for (inst, n) in e.iter() {
+            for entry in mapping.decomposition(inst) {
+                self.masses
+                    .add(entry.ports, f64::from(n) * f64::from(entry.count));
+            }
+        }
+        masses_kernel(&self.masses, &mut self.entries, &mut self.sum, &mut self.unions)
+    }
+
+    /// Flattens `mapping`'s µop decompositions into the solver's dense
+    /// tables, keyed by `compiled`'s dense instruction indices.
+    ///
+    /// Subsequent [`predict`](Self::predict) /
+    /// [`relative_error`](Self::relative_error) calls evaluate against the
+    /// loaded mapping; loading again replaces it. The flattening is
+    /// amortized over the experiments evaluated per candidate and reuses
+    /// the table allocations across candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an experiment instruction is outside the mapping.
+    pub fn load_mapping(&mut self, compiled: &CompiledExperiments, mapping: &ThreeLevelMapping) {
+        self.dec_offsets.clear();
+        self.dec_ports.clear();
+        self.dec_counts.clear();
+        self.dec_unions.clear();
+        self.dec_offsets.push(0);
+        for &id in compiled.inst_ids() {
+            let mut union = PortSet::EMPTY;
+            for entry in mapping.decomposition(id) {
+                self.dec_ports.push(entry.ports);
+                self.dec_counts.push(f64::from(entry.count));
+                union = union.union(entry.ports);
+            }
+            self.dec_offsets.push(self.dec_ports.len() as u32);
+            self.dec_unions.push(union);
+        }
+    }
+
+    /// Re-synchronizes only `changed`'s slice of the loaded-mapping
+    /// tables with `mapping`, assuming every *other* instruction's slice
+    /// is already in sync — the `O(|decomposition|)` companion of
+    /// [`load_mapping`](Self::load_mapping) for single-instruction
+    /// mutations (the hill climber's move).
+    ///
+    /// Falls back to a full reload when the bundle count changed (the
+    /// flat tables cannot absorb a length change in place) and is a no-op
+    /// for instructions absent from the experiment set (their slices are
+    /// never read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no mapping has been loaded for `compiled`.
+    pub fn patch_instruction(
+        &mut self,
+        compiled: &CompiledExperiments,
+        mapping: &ThreeLevelMapping,
+        changed: InstId,
+    ) {
+        assert_eq!(
+            self.dec_unions.len(),
+            compiled.num_insts(),
+            "load_mapping must precede patch_instruction"
+        );
+        let Some(d) = compiled.dense_of(changed) else {
+            return;
+        };
+        let decomp = mapping.decomposition(changed);
+        let (lo, hi) = (self.dec_offsets[d] as usize, self.dec_offsets[d + 1] as usize);
+        if hi - lo != decomp.len() {
+            self.load_mapping(compiled, mapping);
+            return;
+        }
+        let mut union = PortSet::EMPTY;
+        for (slot, entry) in decomp.iter().enumerate() {
+            self.dec_ports[lo + slot] = entry.ports;
+            self.dec_counts[lo + slot] = f64::from(entry.count);
+            union = union.union(entry.ports);
+        }
+        self.dec_unions[d] = union;
+    }
+
+    /// Predicts the throughput of compiled experiment `e` under the
+    /// mapping loaded by [`load_mapping`](Self::load_mapping).
+    ///
+    /// Bit-identical to
+    /// `mapping.throughput(&experiments[e].experiment)`, without any heap
+    /// allocation after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range or more than
+    /// [`MAX_ENUMERABLE_PORTS`] ports are live. Calling this without a
+    /// loaded mapping for `compiled` is a logic error (debug-asserted).
+    pub fn predict(&mut self, compiled: &CompiledExperiments, e: usize) -> f64 {
+        debug_assert_eq!(
+            self.dec_unions.len(),
+            compiled.num_insts(),
+            "load_mapping must precede predict"
+        );
+        let (lo, hi) = compiled.row_bounds(e);
+        // Pass 1: the live ports of this experiment under the mapping.
+        let mut live = PortSet::EMPTY;
+        for t in lo..hi {
+            live = live.union(self.dec_unions[compiled.row_insts[t] as usize]);
+        }
+        let k = live.len();
+        if k == 0 {
+            return 0.0;
+        }
+        assert!(
+            k <= MAX_ENUMERABLE_PORTS,
+            "{k} live ports exceed the subset-enumeration limit ({MAX_ENUMERABLE_PORTS})"
+        );
+        // When the live ports are exactly {0, …, k−1} (the common case on
+        // a fully used machine), compaction is the identity and the
+        // per-bit translation can be skipped. Same masks either way.
+        let identity = live == PortSet::first_n(k);
+        let mut position = [0u8; MAX_PORTS];
+        if !identity {
+            for (dense, p) in live.iter().enumerate() {
+                position[p] = dense as u8;
+            }
+        }
+        // Pass 2: aggregate masses per compacted mask. Compaction is
+        // injective and monotone on subsets of the live ports, so this
+        // merges the same µops in the same order as the reference path's
+        // `MassVector` and yields the same ascending entry list.
+        self.entries.clear();
+        for t in lo..hi {
+            let d = compiled.row_insts[t] as usize;
+            let n = compiled.row_counts[t];
+            let (dlo, dhi) = (self.dec_offsets[d] as usize, self.dec_offsets[d + 1] as usize);
+            for u in dlo..dhi {
+                let mask = if identity {
+                    self.dec_ports[u].mask() as u32
+                } else {
+                    let mut mask = 0u32;
+                    for p in self.dec_ports[u].iter() {
+                        mask |= 1 << position[p];
+                    }
+                    mask
+                };
+                let contribution = n * self.dec_counts[u];
+                match self.entries.binary_search_by_key(&mask, |&(m, _)| m) {
+                    Ok(idx) => self.entries[idx].1 += contribution,
+                    Err(idx) => self.entries.insert(idx, (mask, contribution)),
+                }
+            }
+        }
+        kernel_from_compacted(&self.entries, k, &mut self.sum, &mut self.unions)
+    }
+
+    /// The relative prediction error `|t*_m(e) − t| / t` of compiled
+    /// experiment `e` under the loaded mapping.
+    ///
+    /// # Panics
+    ///
+    /// As for [`predict`](Self::predict).
+    pub fn relative_error(&mut self, compiled: &CompiledExperiments, e: usize) -> f64 {
+        let predicted = self.predict(compiled, e);
+        let t = compiled.measured(e);
+        (predicted - t).abs() / t
+    }
+
+    /// Computes `D_avg(m)` over the compiled set: loads `mapping` and
+    /// averages the relative errors in experiment order — bit-identical
+    /// to the naive reference (`average_relative_error` in `pmevo-evo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compiled` is empty or an experiment references an
+    /// instruction outside the mapping.
+    pub fn average_error(
+        &mut self,
+        compiled: &CompiledExperiments,
+        mapping: &ThreeLevelMapping,
+    ) -> f64 {
+        let n = compiled.num_experiments();
+        assert!(n > 0, "no experiments to evaluate");
+        self.load_mapping(compiled, mapping);
+        let mut sum = 0.0f64;
+        for e in 0..n {
+            sum += self.relative_error(compiled, e);
+        }
+        sum / n as f64
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottleneck_impl::throughput_fast;
+    use crate::UopEntry;
+
+    fn ps(ports: &[usize]) -> PortSet {
+        PortSet::from_ports(ports)
+    }
+
+    fn uop(count: u32, ports: &[usize]) -> UopEntry {
+        UopEntry::new(count, ps(ports))
+    }
+
+    fn figure4_mapping() -> ThreeLevelMapping {
+        ThreeLevelMapping::new(
+            3,
+            vec![
+                vec![uop(2, &[0])],
+                vec![uop(1, &[0, 1])],
+                vec![uop(1, &[0, 1])],
+                vec![uop(1, &[0, 1]), uop(1, &[2])],
+            ],
+        )
+    }
+
+    fn figure4_experiments() -> Vec<MeasuredExperiment> {
+        let m = figure4_mapping();
+        let mut exps = Vec::new();
+        for i in 0..4u32 {
+            exps.push(Experiment::singleton(InstId(i)));
+            for j in (i + 1)..4 {
+                exps.push(Experiment::pair(InstId(i), 2, InstId(j), 1));
+            }
+        }
+        exps.into_iter()
+            .map(|e| {
+                let t = m.throughput(&e);
+                MeasuredExperiment::new(e, t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compile_interns_and_indexes_both_ways() {
+        let data = vec![
+            MeasuredExperiment::new(Experiment::pair(InstId(7), 1, InstId(2), 3), 2.0),
+            MeasuredExperiment::new(Experiment::singleton(InstId(7)), 1.0),
+            MeasuredExperiment::new(Experiment::singleton(InstId(4)), 1.5),
+        ];
+        let c = CompiledExperiments::compile(&data);
+        assert_eq!(c.num_experiments(), 3);
+        assert_eq!(c.num_insts(), 3);
+        // Interning is first-occurrence order over sorted experiment rows.
+        assert_eq!(c.inst_ids(), &[InstId(2), InstId(7), InstId(4)]);
+        assert_eq!(c.dense_of(InstId(7)), Some(1));
+        assert_eq!(c.dense_of(InstId(0)), None);
+        assert_eq!(c.measured(2), 1.5);
+        // Rows reproduce the source experiments.
+        let row0: Vec<(InstId, f64)> = c.row(0).collect();
+        assert_eq!(row0, vec![(InstId(2), 3.0), (InstId(7), 1.0)]);
+        // Inverse index is ascending per instruction.
+        assert_eq!(c.experiments_containing(InstId(7)), &[0, 1]);
+        assert_eq!(c.experiments_containing(InstId(2)), &[0]);
+        assert_eq!(c.experiments_containing(InstId(4)), &[2]);
+        assert_eq!(c.experiments_containing(InstId(63)), &[0u32; 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive measured throughput")]
+    fn compile_rejects_bad_measurements() {
+        CompiledExperiments::compile(&[MeasuredExperiment::new(
+            Experiment::singleton(InstId(0)),
+            0.0,
+        )]);
+    }
+
+    #[test]
+    fn solver_throughput_matches_throughput_fast_bitwise() {
+        let cases: Vec<MassVector> = vec![
+            [(ps(&[0, 1]), 2.0), (ps(&[0]), 1.0), (ps(&[2]), 1.0)]
+                .into_iter()
+                .collect(),
+            [(ps(&[40, 63]), 2.0), (ps(&[40]), 1.0)].into_iter().collect(),
+            [(ps(&[0, 3]), 2.5), (ps(&[1, 3]), 0.5), (ps(&[0, 1]), 1.5)]
+                .into_iter()
+                .collect(),
+            MassVector::new(),
+        ];
+        let mut solver = ThroughputSolver::new();
+        for mv in &cases {
+            // Twice through the same solver: buffer reuse must not change
+            // anything.
+            assert_eq!(solver.throughput(mv).to_bits(), throughput_fast(mv).to_bits());
+            assert_eq!(solver.throughput(mv).to_bits(), throughput_fast(mv).to_bits());
+        }
+    }
+
+    #[test]
+    fn solver_mapping_throughput_matches_ad_hoc_path() {
+        let m = figure4_mapping();
+        let mut solver = ThroughputSolver::new();
+        for me in figure4_experiments() {
+            let a = solver.mapping_throughput(&m, &me.experiment);
+            let b = m.throughput(&me.experiment);
+            assert_eq!(a.to_bits(), b.to_bits(), "mismatch on {}", me.experiment);
+        }
+    }
+
+    #[test]
+    fn compiled_predictions_match_naive_reference_bitwise() {
+        let m = figure4_mapping();
+        let data = figure4_experiments();
+        let compiled = CompiledExperiments::compile(&data);
+        let mut solver = ThroughputSolver::new();
+        solver.load_mapping(&compiled, &m);
+        for (e, me) in data.iter().enumerate() {
+            let fast = solver.predict(&compiled, e);
+            let naive = m.throughput(&me.experiment);
+            assert_eq!(fast.to_bits(), naive.to_bits(), "mismatch on {}", me.experiment);
+            assert_eq!(
+                solver.relative_error(&compiled, e).to_bits(),
+                ((naive - me.throughput).abs() / me.throughput).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn average_error_is_exact_and_reusable_across_mappings() {
+        let data = figure4_experiments();
+        let compiled = CompiledExperiments::compile(&data);
+        let mut solver = ThroughputSolver::new();
+
+        let reference = |m: &ThreeLevelMapping| -> f64 {
+            let sum: f64 = data
+                .iter()
+                .map(|me| (m.throughput(&me.experiment) - me.throughput).abs() / me.throughput)
+                .sum();
+            sum / data.len() as f64
+        };
+
+        let exact = figure4_mapping();
+        assert_eq!(solver.average_error(&compiled, &exact), 0.0);
+
+        // A wrong mapping through the *same* solver (scratch reuse).
+        let mut wrong = exact.clone();
+        wrong.set_decomposition(InstId(0), vec![uop(4, &[0])]);
+        let got = solver.average_error(&compiled, &wrong);
+        assert_eq!(got.to_bits(), reference(&wrong).to_bits());
+        assert!(got > 0.0);
+
+        // And back to the exact mapping: no stale loaded state.
+        assert_eq!(solver.average_error(&compiled, &exact), 0.0);
+    }
+
+    #[test]
+    fn empty_decomposition_and_unused_instructions_are_handled() {
+        // Instruction 1 never appears in the experiments; instruction 0's
+        // mapping may legally decompose to nothing after normalization.
+        let data = vec![MeasuredExperiment::new(
+            Experiment::singleton(InstId(0)),
+            2.0,
+        )];
+        let compiled = CompiledExperiments::compile(&data);
+        let m = ThreeLevelMapping::new(2, vec![vec![], vec![uop(1, &[0])]]);
+        let mut solver = ThroughputSolver::new();
+        // Predicted 0 against measured 2 → relative error 1.
+        assert_eq!(solver.average_error(&compiled, &m), 1.0);
+        assert_eq!(compiled.experiments_containing(InstId(1)), &[0u32; 0]);
+    }
+}

@@ -14,6 +14,10 @@
 //!   Equation 1), an exact `Θ(2^|P|)` solver for the throughput linear
 //!   program, plus an LP-based reference implementation used for
 //!   cross-checking and for reproducing Figure 8.
+//! * [`CompiledExperiments`] / [`ThroughputSolver`] — the
+//!   compile-then-evaluate engine behind the evolutionary hot loop:
+//!   experiments compiled once into dense flat form, throughputs computed
+//!   with reusable scratch state and zero per-evaluation allocations.
 //!
 //! # Example
 //!
@@ -35,6 +39,7 @@
 
 pub mod allocation;
 mod bottleneck_impl;
+mod eval;
 mod experiment;
 pub mod json;
 mod mapping;
@@ -42,6 +47,7 @@ mod ports;
 mod predict;
 pub mod render;
 
+pub use eval::{CompiledExperiments, ThroughputSolver};
 pub use experiment::{Experiment, MeasuredExperiment};
 pub use mapping::{MappingJsonError, ThreeLevelMapping, TwoLevelMapping, UopEntry};
 pub use ports::{PortId, PortSet, PortSetIter, MAX_PORTS};

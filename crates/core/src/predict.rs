@@ -1,6 +1,7 @@
 //! The throughput-predictor abstraction shared by PMEvo and all baselines.
 
-use crate::{Experiment, ThreeLevelMapping, TwoLevelMapping};
+use crate::{Experiment, ThreeLevelMapping, ThroughputSolver, TwoLevelMapping};
+use std::cell::RefCell;
 
 /// A model that predicts the steady-state throughput of an experiment.
 ///
@@ -42,6 +43,11 @@ pub trait ThroughputPredictor {
 pub struct MappingPredictor {
     name: String,
     mapping: ThreeLevelMapping,
+    /// Reused bottleneck scratch: predictors are queried thousands of
+    /// times over benchmark sets, and the solver makes each query
+    /// allocation-free after warm-up. Predictors are used from one thread
+    /// at a time (a `RefCell`, not a lock).
+    solver: RefCell<ThroughputSolver>,
 }
 
 impl MappingPredictor {
@@ -50,6 +56,7 @@ impl MappingPredictor {
         MappingPredictor {
             name: name.into(),
             mapping,
+            solver: RefCell::new(ThroughputSolver::new()),
         }
     }
 
@@ -72,7 +79,7 @@ impl MappingPredictor {
 
 impl ThroughputPredictor for MappingPredictor {
     fn predict(&self, e: &Experiment) -> f64 {
-        self.mapping.throughput(e)
+        self.solver.borrow_mut().mapping_throughput(&self.mapping, e)
     }
 
     fn name(&self) -> &str {

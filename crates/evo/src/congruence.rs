@@ -10,9 +10,13 @@
 //! `(m, n)` present in the experiment set, `{iA ↦ m, iC ↦ n}` and
 //! `{iB ↦ m, iC ↦ n}` have equal measured throughput — all equalities up
 //! to the symmetric relative difference `|t1 − t2| / (|t1 + t2| / 2) < ε`.
+//!
+//! All internal maps are `BTreeMap`s, so every iteration order here is a
+//! function of the input alone: fixed-seed pipeline runs are bit-identical
+//! by construction, not by the accident of a hash seed.
 
 use pmevo_core::{InstId, MeasuredExperiment};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Checks throughput equality up to the paper's symmetric relative
 /// difference bound `ε`.
@@ -49,7 +53,7 @@ fn close(t1: f64, t2: f64, epsilon: f64) -> bool {
 #[derive(Debug, Clone)]
 pub struct CongruencePartition {
     /// Class representative per universe position.
-    repr: HashMap<InstId, InstId>,
+    repr: BTreeMap<InstId, InstId>,
     /// The representatives, in first-seen order.
     reps: Vec<InstId>,
     universe: Vec<InstId>,
@@ -73,9 +77,9 @@ impl CongruencePartition {
         assert!(epsilon > 0.0, "epsilon must be positive");
 
         // Index measurements: singleton throughputs and pair signatures.
-        let mut singleton: HashMap<InstId, f64> = HashMap::new();
+        let mut singleton: BTreeMap<InstId, f64> = BTreeMap::new();
         // (inst) -> Vec of ((other, m_self, n_other), throughput)
-        let mut pair_sig: HashMap<InstId, HashMap<(InstId, u32, u32), f64>> = HashMap::new();
+        let mut pair_sig: BTreeMap<InstId, BTreeMap<(InstId, u32, u32), f64>> = BTreeMap::new();
         for me in measurements {
             let counts = me.experiment.counts();
             match counts {
@@ -106,7 +110,7 @@ impl CongruencePartition {
             if !close(singleton[&a], singleton[&b], epsilon) {
                 return false;
             }
-            let empty = HashMap::new();
+            let empty = BTreeMap::new();
             let sa = pair_sig.get(&a).unwrap_or(&empty);
             let sb = pair_sig.get(&b).unwrap_or(&empty);
             for (&(c, m, n), &ta) in sa {
@@ -123,7 +127,7 @@ impl CongruencePartition {
         };
 
         let mut reps: Vec<InstId> = Vec::new();
-        let mut repr: HashMap<InstId, InstId> = HashMap::new();
+        let mut repr: BTreeMap<InstId, InstId> = BTreeMap::new();
         for &id in universe {
             match reps.iter().copied().find(|&r| congruent(r, id)) {
                 Some(r) => {
@@ -182,9 +186,10 @@ impl CongruencePartition {
         1.0 - self.reps.len() as f64 / self.universe.len() as f64
     }
 
-    /// Members of each class, keyed by representative.
-    pub fn classes(&self) -> HashMap<InstId, Vec<InstId>> {
-        let mut map: HashMap<InstId, Vec<InstId>> = HashMap::new();
+    /// Members of each class, keyed by representative, in deterministic
+    /// (ascending-representative) iteration order.
+    pub fn classes(&self) -> BTreeMap<InstId, Vec<InstId>> {
+        let mut map: BTreeMap<InstId, Vec<InstId>> = BTreeMap::new();
         for &id in &self.universe {
             map.entry(self.repr[&id]).or_default().push(id);
         }

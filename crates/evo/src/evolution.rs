@@ -13,7 +13,7 @@
 //! return fittest individual
 //! ```
 
-use crate::fitness::{scalarize, FitnessEvaluator, Objectives};
+use crate::fitness::{scalarize, FitnessEngine, Objectives};
 use pmevo_core::{InstId, MeasuredExperiment, ThreeLevelMapping, UopEntry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -148,18 +148,35 @@ fn mutate<R: Rng + ?Sized>(rng: &mut R, m: &mut ThreeLevelMapping, rate: f64) {
 /// edge `(i, n, u)`, try `n ± 1` (dropping the µop when `n` reaches 0 and
 /// another µop remains) and keep the change if the mapping improves
 /// lexicographically in `(D_avg, V)`.
+///
+/// Each trial mutates a single instruction, so it is scored with the
+/// engine's delta path: only the experiments containing that instruction
+/// are re-predicted (the inverse index of
+/// [`pmevo_core::CompiledExperiments`]), with objectives bit-identical to
+/// a full re-evaluation.
 pub(crate) fn hill_climb(
     mapping: &mut ThreeLevelMapping,
-    evaluator: &FitnessEvaluator<'_>,
+    engine: &mut FitnessEngine,
     max_passes: u32,
 ) -> Objectives {
-    let mut current = evaluator.evaluate(mapping);
+    let mut cache = engine.build_cache(mapping);
+    let mut current = Objectives {
+        error: cache.mean_error(),
+        volume: mapping.volume(),
+    };
     for _ in 0..max_passes {
         let mut improved = false;
         for i in 0..mapping.num_insts() {
             let id = InstId(i as u32);
-            let entries = mapping.decomposition(id).to_vec();
-            for (idx, entry) in entries.iter().enumerate() {
+            // Re-read the decomposition after every accepted trial:
+            // candidates must build on the kept change, not on a stale
+            // snapshot that would silently revert it.
+            let mut idx = 0usize;
+            loop {
+                let entries = mapping.decomposition(id).to_vec();
+                let Some(entry) = entries.get(idx).copied() else {
+                    break;
+                };
                 for delta in [1i64, -1] {
                     let new_count = entry.count as i64 + delta;
                     if new_count < 0 || (new_count == 0 && entries.len() == 1) {
@@ -167,16 +184,21 @@ pub(crate) fn hill_climb(
                     }
                     let mut cand = entries.clone();
                     cand[idx] = UopEntry::new(new_count as u32, entry.ports);
-                    let old = mapping.decomposition(id).to_vec();
                     mapping.set_decomposition(id, cand);
-                    let obj = evaluator.evaluate(mapping);
+                    let obj = engine.try_update(mapping, &cache, id);
                     if obj.better_than(&current, 1e-9) {
+                        engine.commit_update(&mut cache);
                         current = obj;
                         improved = true;
                         break; // keep; continue with next entry
                     } else {
-                        mapping.set_decomposition(id, old);
+                        mapping.set_decomposition(id, entries.clone());
                     }
+                }
+                // If an accepted trial dropped a µop, the next entry has
+                // shifted into this index — examine it before moving on.
+                if mapping.decomposition(id).len() == entries.len() {
+                    idx += 1;
                 }
             }
         }
@@ -209,13 +231,15 @@ pub fn evolve(
     assert_eq!(indiv_tp.len(), num_insts, "throughput table size mismatch");
     assert!(config.population_size >= 2, "population too small");
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let evaluator = FitnessEvaluator::new(experiments, config.num_threads);
+    // One engine per run: experiments are compiled once and the worker
+    // threads live across every generation and the final local search.
+    let mut engine = FitnessEngine::new(experiments, config.num_threads);
 
     let p = config.population_size;
-    let mut population: Vec<ThreeLevelMapping> = (0..p)
+    let population: Vec<ThreeLevelMapping> = (0..p)
         .map(|_| ThreeLevelMapping::sample_random(&mut rng, num_insts, num_ports, indiv_tp))
         .collect();
-    let mut objectives = evaluator.evaluate_batch(&population);
+    let (mut population, mut objectives) = engine.evaluate_batch_owned(population);
 
     let mut history = Vec::new();
     let mut best_so_far = f64::INFINITY;
@@ -237,7 +261,7 @@ pub fn evolve(
                 children.push(c2);
             }
         }
-        let child_objectives = evaluator.evaluate_batch(&children);
+        let (children, child_objectives) = engine.evaluate_batch_owned(children);
 
         // Pool selection: keep the p best by scalarized fitness.
         population.extend(children);
@@ -285,7 +309,7 @@ pub fn evolve(
         })
         .expect("population is non-empty");
     let mut best = population.swap_remove(best_idx);
-    let objectives = hill_climb(&mut best, &evaluator, config.local_search_passes);
+    let objectives = hill_climb(&mut best, &mut engine, config.local_search_passes);
 
     EvoResult {
         mapping: best,
@@ -407,9 +431,9 @@ mod tests {
         // Perturb the ground truth: i0 gets 3 µops instead of 1.
         let mut broken = gt.clone();
         broken.set_decomposition(InstId(0), vec![uop(3, &[0])]);
-        let evaluator = FitnessEvaluator::new(&measured, 1);
-        let before = evaluator.evaluate(&broken);
-        let after = hill_climb(&mut broken, &evaluator, 5);
+        let mut engine = FitnessEngine::new(&measured, 1);
+        let before = engine.evaluate(&broken);
+        let after = hill_climb(&mut broken, &mut engine, 5);
         assert!(after.error < before.error);
         assert!(after.error < 1e-9, "hill climbing should reach exactness");
     }

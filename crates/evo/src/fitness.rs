@@ -1,11 +1,26 @@
-//! The two-objective fitness metric of paper §4.4.
+//! The two-objective fitness metric of paper §4.4 and the batched,
+//! allocation-free evaluation engine behind it.
 //!
 //! PMEvo minimizes the average relative prediction error `D_avg` and the
 //! µop volume `V` simultaneously. The multi-objective problem is
 //! scalarized a priori: each generation, both objectives are affinely
 //! normalized to `[0, 1000]` over the current selection pool and summed.
+//!
+//! Evaluation follows a compile-then-execute split (the "aggressive
+//! performance optimizations" of paper §4.5): [`FitnessEngine`] compiles
+//! the measured experiments once into the dense flat form of
+//! [`CompiledExperiments`], spawns its worker threads once, and reuses
+//! per-worker [`ThroughputSolver`] scratch across every generation of an
+//! evolutionary run. [`average_relative_error`] remains as the naive
+//! reference implementation; the engine returns bit-identical values
+//! (enforced by the property tests in `tests/proptest_fitness.rs`).
 
-use pmevo_core::{MeasuredExperiment, ThreeLevelMapping};
+use pmevo_core::{
+    CompiledExperiments, InstId, MeasuredExperiment, ThreeLevelMapping, ThroughputSolver,
+};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// The raw objective pair of one candidate mapping.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +48,11 @@ impl Objectives {
 /// Computes `D_avg(m)`: the mean of `|t*_m(e) − t| / t` over all measured
 /// experiments (paper §4.4).
 ///
+/// This is the **reference implementation**: it re-derives every
+/// prediction from scratch through [`ThreeLevelMapping::throughput`].
+/// The evolutionary loop evaluates through [`FitnessEngine`], which is
+/// bit-identical but allocation-free and batched.
+///
 /// # Panics
 ///
 /// Panics if `experiments` is empty, contains non-positive measurements,
@@ -53,64 +73,421 @@ pub fn average_relative_error(
     sum / experiments.len() as f64
 }
 
-/// Evaluates the objectives of candidate mappings, in parallel across a
-/// configurable number of threads.
-#[derive(Debug)]
-pub struct FitnessEvaluator<'a> {
-    experiments: &'a [MeasuredExperiment],
-    num_threads: usize,
+/// A unit of work for the persistent worker pool: evaluate
+/// `mappings[start..end]` and report the objectives back tagged with
+/// `start`, so the batch can be assembled deterministically regardless of
+/// worker scheduling.
+struct Job {
+    mappings: Arc<Vec<ThreeLevelMapping>>,
+    start: usize,
+    end: usize,
 }
 
-impl<'a> FitnessEvaluator<'a> {
-    /// Creates an evaluator over the measured experiment set.
+/// One chunk's outcome: the evaluated objectives, or the payload of a
+/// panic caught in the worker — re-raised on the calling thread so a
+/// failed evaluation surfaces exactly like the old scoped-thread
+/// `join().expect()` did instead of deadlocking the batch.
+type ChunkResult = (usize, std::thread::Result<Vec<Objectives>>);
+
+/// The persistent half of the engine: worker threads, the shared job
+/// queue they pull from, and the channel results come back on.
+struct Pool {
+    job_tx: Sender<Job>,
+    result_rx: Receiver<ChunkResult>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    fn spawn(num_threads: usize, compiled: &Arc<CompiledExperiments>) -> Pool {
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) = channel();
+        let handles = (0..num_threads)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let result_tx = result_tx.clone();
+                let compiled = Arc::clone(compiled);
+                std::thread::spawn(move || {
+                    // Each worker owns its solver for the whole engine
+                    // lifetime — scratch buffers warm up once and are
+                    // reused across all batches of all generations.
+                    let mut solver = ThroughputSolver::new();
+                    loop {
+                        let job = job_rx.lock().expect("job queue poisoned").recv();
+                        let Ok(job) = job else { break };
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut out = Vec::with_capacity(job.end - job.start);
+                            for m in &job.mappings[job.start..job.end] {
+                                out.push(Objectives {
+                                    error: solver.average_error(&compiled, m),
+                                    volume: m.volume(),
+                                });
+                            }
+                            out
+                        }));
+                        let failed = result.is_err();
+                        let start = job.start;
+                        // Release the batch's Arc before signalling
+                        // completion, so the caller can reclaim unique
+                        // ownership once all results are in.
+                        drop(job);
+                        if result_tx.send((start, result)).is_err() || failed {
+                            // A caught panic is re-raised by the caller;
+                            // this worker retires rather than reuse
+                            // possibly half-updated solver scratch.
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        Pool {
+            job_tx,
+            result_rx,
+            handles,
+        }
+    }
+}
+
+/// Evaluates the objectives of candidate mappings against a compiled
+/// experiment set, with persistent worker threads and reusable solver
+/// state.
+///
+/// Create one engine per inference run: construction compiles the
+/// experiments and (for `num_threads > 1`) spawns the worker pool; both
+/// then live across every generation and the final local search. Batch
+/// results are independent of the thread count and of worker scheduling.
+///
+/// The engine also drives **delta re-evaluation** for the hill climber:
+/// [`build_cache`](Self::build_cache) records per-experiment errors of a
+/// mapping, and [`try_update`](Self::try_update) re-evaluates only the
+/// experiments containing a mutated instruction (via the inverse index of
+/// [`CompiledExperiments`]), returning objectives bit-identical to a full
+/// evaluation of the mutated mapping.
+#[derive(Debug)]
+pub struct FitnessEngine {
+    compiled: Arc<CompiledExperiments>,
+    /// Calling-thread solver for single and delta evaluations.
+    solver: ThroughputSolver,
+    num_threads: usize,
+    pool: Option<Pool>,
+    /// Staged `(experiment, error)` updates of the last
+    /// [`try_update`](Self::try_update), applied by
+    /// [`commit_update`](Self::commit_update).
+    pending: Vec<(u32, f64)>,
+    /// State of the calling-thread solver's loaded-mapping tables for the
+    /// delta path: `Synced { dirty }` after [`build_cache`] means the
+    /// tables match the hill climber's mapping except possibly at the
+    /// instruction(s) in `dirty` (the previous trial's mutation);
+    /// `Unsynced` after a full evaluation means [`try_update`] must
+    /// reload before patching.
+    ///
+    /// [`build_cache`]: Self::build_cache
+    /// [`try_update`]: Self::try_update
+    delta_sync: DeltaSync,
+}
+
+/// See [`FitnessEngine::delta_sync`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DeltaSync {
+    Unsynced,
+    Synced { dirty: Option<InstId> },
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl FitnessEngine {
+    /// Compiles the experiment set and (for `num_threads > 1`) spawns the
+    /// persistent worker pool.
     ///
     /// # Panics
     ///
-    /// Panics if `experiments` is empty or `num_threads` is zero.
-    pub fn new(experiments: &'a [MeasuredExperiment], num_threads: usize) -> Self {
+    /// Panics if `experiments` is empty, contains non-positive
+    /// measurements, or `num_threads` is zero.
+    pub fn new(experiments: &[MeasuredExperiment], num_threads: usize) -> Self {
         assert!(!experiments.is_empty(), "no experiments to evaluate");
         assert!(num_threads > 0, "need at least one thread");
-        FitnessEvaluator {
-            experiments,
+        let compiled = Arc::new(CompiledExperiments::compile(experiments));
+        let pool = (num_threads > 1).then(|| Pool::spawn(num_threads, &compiled));
+        FitnessEngine {
+            compiled,
+            solver: ThroughputSolver::new(),
             num_threads,
+            pool,
+            pending: Vec::new(),
+            delta_sync: DeltaSync::Unsynced,
         }
     }
 
-    /// The experiment set evaluated against.
-    pub fn experiments(&self) -> &[MeasuredExperiment] {
-        self.experiments
+    /// The compiled experiment set evaluated against.
+    pub fn compiled(&self) -> &CompiledExperiments {
+        &self.compiled
     }
 
-    /// Evaluates one mapping.
-    pub fn evaluate(&self, mapping: &ThreeLevelMapping) -> Objectives {
+    /// Number of worker threads used for batch evaluation.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Evaluates one mapping on the calling thread (allocation-free after
+    /// warm-up).
+    pub fn evaluate(&mut self, mapping: &ThreeLevelMapping) -> Objectives {
+        // A full evaluation reloads the solver tables wholesale, so any
+        // delta baseline previously established is gone.
+        self.delta_sync = DeltaSync::Unsynced;
         Objectives {
-            error: average_relative_error(mapping, self.experiments),
+            error: self.solver.average_error(&self.compiled, mapping),
             volume: mapping.volume(),
         }
     }
 
-    /// Evaluates a batch of mappings, splitting the batch across threads.
-    pub fn evaluate_batch(&self, mappings: &[ThreeLevelMapping]) -> Vec<Objectives> {
-        if mappings.is_empty() {
+    /// Evaluates a batch of mappings across the worker pool.
+    ///
+    /// The batch is shared with the workers by reference counting — one
+    /// `Arc` clone per chunk, never a per-mapping or per-evaluation copy.
+    /// Results are in batch order and identical for every thread count.
+    pub fn evaluate_batch(&mut self, mappings: &Arc<Vec<ThreeLevelMapping>>) -> Vec<Objectives> {
+        let n = mappings.len();
+        if n == 0 {
             return Vec::new();
         }
-        let threads = self.num_threads.min(mappings.len());
-        if threads == 1 {
-            return mappings.iter().map(|m| self.evaluate(m)).collect();
-        }
-        let chunk = mappings.len().div_ceil(threads);
-        let mut out: Vec<Objectives> = Vec::with_capacity(mappings.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = mappings
-                .chunks(chunk)
-                .map(|ms| scope.spawn(move || ms.iter().map(|m| self.evaluate(m)).collect::<Vec<_>>()))
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("fitness worker panicked"));
+        if self.pool.is_none() || n == 1 {
+            let mut out = Vec::with_capacity(n);
+            for m in mappings.iter() {
+                out.push(self.evaluate(m));
             }
-        });
+            return out;
+        }
+        let threads = self.num_threads.min(n);
+        let chunk = n.div_ceil(threads);
+        let pool = self.pool.as_ref().expect("pool checked above");
+        let mut jobs = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + chunk).min(n);
+            pool.job_tx
+                .send(Job {
+                    mappings: Arc::clone(mappings),
+                    start,
+                    end,
+                })
+                .expect("fitness worker pool is alive");
+            jobs += 1;
+            start = end;
+        }
+        let mut out = vec![
+            Objectives {
+                error: 0.0,
+                volume: 0
+            };
+            n
+        ];
+        let mut panic_payload = None;
+        for _ in 0..jobs {
+            let (offset, result) = pool
+                .result_rx
+                .recv()
+                .expect("fitness worker pool is alive");
+            match result {
+                Ok(objectives) => {
+                    out[offset..offset + objectives.len()].copy_from_slice(&objectives);
+                }
+                Err(payload) => {
+                    panic_payload = Some(payload);
+                    break;
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            // Retire the pool before re-raising: the batch's remaining
+            // results are abandoned in flight, so a caller that catches
+            // this panic and evaluates again must not see them — without
+            // a pool, later batches take the (correct) sequential path.
+            self.shutdown_pool();
+            std::panic::resume_unwind(payload);
+        }
         out
     }
+
+    /// [`evaluate_batch`](Self::evaluate_batch) for an owned batch: wraps
+    /// it in an `Arc` for the workers and hands ownership back together
+    /// with the objectives.
+    pub fn evaluate_batch_owned(
+        &mut self,
+        mappings: Vec<ThreeLevelMapping>,
+    ) -> (Vec<ThreeLevelMapping>, Vec<Objectives>) {
+        let mut arc = Arc::new(mappings);
+        let objectives = self.evaluate_batch(&arc);
+        // All results are in, so the workers have dropped their clones
+        // (each drops before sending); spin-yield for the brief window in
+        // which a worker is still between `drop` and thread-local cleanup.
+        let mappings = loop {
+            match Arc::try_unwrap(arc) {
+                Ok(v) => break v,
+                Err(still_shared) => {
+                    arc = still_shared;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        (mappings, objectives)
+    }
+
+    /// Records the per-experiment errors of `mapping`, the starting point
+    /// for delta re-evaluation.
+    pub fn build_cache(&mut self, mapping: &ThreeLevelMapping) -> ErrorCache {
+        self.solver.load_mapping(&self.compiled, mapping);
+        self.delta_sync = DeltaSync::Synced { dirty: None };
+        let n = self.compiled.num_experiments();
+        let mut per_exp = Vec::with_capacity(n);
+        for e in 0..n {
+            per_exp.push(self.solver.relative_error(&self.compiled, e));
+        }
+        let mean = mean_in_order(&per_exp);
+        ErrorCache { per_exp, mean }
+    }
+
+    /// Evaluates `mapping`, which must differ from the cached mapping
+    /// only in the decomposition of `changed`, by re-predicting just the
+    /// experiments containing `changed`.
+    ///
+    /// Returns objectives **bit-identical** to a full
+    /// [`evaluate`](Self::evaluate) of `mapping`. The new per-experiment
+    /// errors are staged internally; call
+    /// [`commit_update`](Self::commit_update) to fold them into the cache
+    /// when keeping the mutation, or simply call `try_update` again (for
+    /// a different mutation of the same cached mapping) to discard them.
+    pub fn try_update(
+        &mut self,
+        mapping: &ThreeLevelMapping,
+        cache: &ErrorCache,
+        changed: InstId,
+    ) -> Objectives {
+        debug_assert_eq!(
+            cache.per_exp.len(),
+            self.compiled.num_experiments(),
+            "ErrorCache does not belong to this engine's experiment set"
+        );
+        self.pending.clear();
+        let affected = self.compiled.experiments_containing(changed);
+        if !affected.is_empty() {
+            // Bring the solver tables in line with `mapping` as cheaply
+            // as possible. `mapping` is always the source of truth, so
+            // after a full load, or after patching both the previous
+            // trial's instruction (now reverted or committed in
+            // `mapping`) and `changed`, the tables equal a full reload.
+            match self.delta_sync {
+                DeltaSync::Unsynced => self.solver.load_mapping(&self.compiled, mapping),
+                DeltaSync::Synced { dirty } => {
+                    if let Some(prev) = dirty.filter(|&prev| prev != changed) {
+                        self.solver.patch_instruction(&self.compiled, mapping, prev);
+                    }
+                    self.solver.patch_instruction(&self.compiled, mapping, changed);
+                }
+            }
+            self.delta_sync = DeltaSync::Synced {
+                dirty: Some(changed),
+            };
+            for &e in affected {
+                self.pending
+                    .push((e, self.solver.relative_error(&self.compiled, e as usize)));
+            }
+        }
+        // Re-sum over *all* experiments in order, substituting the staged
+        // values: same additions in the same order as a full evaluation,
+        // so the result is exact, with none of the drift an incremental
+        // `sum - old + new` accumulator would build up.
+        let n = cache.per_exp.len();
+        let mut sum = 0.0f64;
+        let mut p = 0usize;
+        for (e, &cached) in cache.per_exp.iter().enumerate() {
+            let v = if p < self.pending.len() && self.pending[p].0 as usize == e {
+                let v = self.pending[p].1;
+                p += 1;
+                v
+            } else {
+                cached
+            };
+            sum += v;
+        }
+        Objectives {
+            error: sum / n as f64,
+            volume: mapping.volume(),
+        }
+    }
+
+    /// Folds the errors staged by the last
+    /// [`try_update`](Self::try_update) into `cache`, making the mutated
+    /// mapping the new delta baseline.
+    pub fn commit_update(&mut self, cache: &mut ErrorCache) {
+        debug_assert_eq!(
+            cache.per_exp.len(),
+            self.compiled.num_experiments(),
+            "ErrorCache does not belong to this engine's experiment set"
+        );
+        for &(e, v) in &self.pending {
+            cache.per_exp[e as usize] = v;
+        }
+        cache.mean = mean_in_order(&cache.per_exp);
+        self.pending.clear();
+    }
+}
+
+impl FitnessEngine {
+    /// Closes the job channel (every worker's `recv` then fails, which is
+    /// their shutdown signal) and joins the workers.
+    fn shutdown_pool(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            drop(pool.job_tx);
+            drop(pool.result_rx);
+            for handle in pool.handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for FitnessEngine {
+    fn drop(&mut self) {
+        self.shutdown_pool();
+    }
+}
+
+/// Per-experiment relative errors of one mapping, the state delta
+/// re-evaluation works against (see [`FitnessEngine::build_cache`]).
+#[derive(Debug, Clone)]
+pub struct ErrorCache {
+    per_exp: Vec<f64>,
+    mean: f64,
+}
+
+impl ErrorCache {
+    /// The mean relative error of the cached mapping, equal to what
+    /// [`FitnessEngine::evaluate`] would report for it.
+    pub fn mean_error(&self) -> f64 {
+        self.mean
+    }
+
+    /// The cached relative error per experiment.
+    pub fn per_experiment(&self) -> &[f64] {
+        &self.per_exp
+    }
+}
+
+/// Sequential in-order mean — the exact arithmetic of
+/// [`average_relative_error`]'s `sum / len`.
+fn mean_in_order(values: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    for &v in values {
+        sum += v;
+    }
+    sum / values.len() as f64
 }
 
 /// Scalarizes a pool of objectives: both metrics are affinely mapped to
@@ -168,6 +545,7 @@ mod tests {
             3.0,
         )];
         assert_eq!(average_relative_error(&m, &exps), 0.0);
+        assert_eq!(FitnessEngine::new(&exps, 1).evaluate(&m).error, 0.0);
     }
 
     #[test]
@@ -187,14 +565,96 @@ mod tests {
                 MeasuredExperiment::new(Experiment::from_counts(&[(InstId(0), n)]), f64::from(n))
             })
             .collect();
-        let ev = FitnessEvaluator::new(&exps, 4);
+        let mut engine = FitnessEngine::new(&exps, 4);
         let ms: Vec<ThreeLevelMapping> = (1..=8)
             .map(|c| mapping(vec![vec![uop(c, &[0])]]))
             .collect();
-        let batch = ev.evaluate_batch(&ms);
+        let (ms, batch) = engine.evaluate_batch_owned(ms);
         for (m, o) in ms.iter().zip(&batch) {
-            assert_eq!(ev.evaluate(m).error, o.error);
-            assert_eq!(ev.evaluate(m).volume, o.volume);
+            assert_eq!(engine.evaluate(m).error, o.error);
+            assert_eq!(engine.evaluate(m).volume, o.volume);
+        }
+        // The engine reference path agrees with the naive reference.
+        for (m, o) in ms.iter().zip(&batch) {
+            assert_eq!(average_relative_error(m, &exps), o.error);
+        }
+    }
+
+    #[test]
+    fn batch_results_are_thread_count_independent() {
+        let exps: Vec<MeasuredExperiment> = (1..6)
+            .map(|n| {
+                MeasuredExperiment::new(Experiment::from_counts(&[(InstId(0), n)]), f64::from(n))
+            })
+            .collect();
+        let ms = Arc::new(
+            (1..=13)
+                .map(|c| mapping(vec![vec![uop(c, &[0, 1])]]))
+                .collect::<Vec<_>>(),
+        );
+        let reference = FitnessEngine::new(&exps, 1).evaluate_batch(&ms);
+        for threads in [2, 3, 5, 8] {
+            let got = FitnessEngine::new(&exps, threads).evaluate_batch(&ms);
+            assert_eq!(got, reference, "thread count {threads} changed results");
+        }
+    }
+
+    #[test]
+    fn delta_update_matches_full_evaluation() {
+        let exps = vec![
+            MeasuredExperiment::new(Experiment::singleton(InstId(0)), 1.0),
+            MeasuredExperiment::new(Experiment::singleton(InstId(1)), 2.0),
+            MeasuredExperiment::new(Experiment::pair(InstId(0), 1, InstId(1), 1), 2.0),
+        ];
+        let mut engine = FitnessEngine::new(&exps, 1);
+        let base = mapping(vec![vec![uop(1, &[0])], vec![uop(2, &[1])]]);
+        let mut cache = engine.build_cache(&base);
+        assert_eq!(cache.mean_error(), engine.evaluate(&base).error);
+
+        // Mutate instruction 1 only; experiments 1 and 2 are affected.
+        let mut mutated = base.clone();
+        mutated.set_decomposition(InstId(1), vec![uop(3, &[1])]);
+        let delta = engine.try_update(&mutated, &cache, InstId(1));
+        let full = engine.evaluate(&mutated);
+        assert_eq!(delta, full);
+
+        // Committing makes the mutation the new baseline.
+        engine.commit_update(&mut cache);
+        assert_eq!(cache.mean_error(), full.error);
+        assert_eq!(cache.per_experiment().len(), 3);
+
+        // And a follow-up delta from the committed state stays exact.
+        let mut back = mutated.clone();
+        back.set_decomposition(InstId(1), vec![uop(2, &[1])]);
+        let delta2 = engine.try_update(&back, &cache, InstId(1));
+        assert_eq!(delta2, engine.evaluate(&back));
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        let exps = vec![
+            MeasuredExperiment::new(Experiment::singleton(InstId(0)), 1.0),
+            MeasuredExperiment::new(Experiment::singleton(InstId(1)), 1.0),
+        ];
+        let mut engine = FitnessEngine::new(&exps, 2);
+        // A mapping covering only instruction 0: evaluating the {i1}
+        // experiment panics inside a worker thread. The batch call must
+        // re-raise that panic, not deadlock waiting for a result.
+        let bad = ThreeLevelMapping::new(1, vec![vec![uop(1, &[0])]]);
+        let batch = Arc::new(vec![bad.clone(), bad]);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.evaluate_batch(&batch)
+        }));
+        assert!(outcome.is_err(), "worker panic was swallowed");
+
+        // After a caught panic the pool is retired; the engine stays
+        // usable and must not serve the dead batch's leftover results.
+        let good = mapping(vec![vec![uop(2, &[0])], vec![uop(1, &[0, 1])]]);
+        let fresh = Arc::new(vec![good.clone(), good.clone(), good.clone()]);
+        let got = engine.evaluate_batch(&fresh);
+        assert_eq!(got.len(), 3);
+        for o in got {
+            assert_eq!(o, engine.evaluate(&good));
         }
     }
 

@@ -22,6 +22,6 @@ pub mod validate;
 pub use congruence::CongruencePartition;
 pub use evolution::{evolve, EvoConfig, EvoResult};
 pub use expgen::ExperimentGenerator;
-pub use fitness::{average_relative_error, FitnessEvaluator, Objectives};
+pub use fitness::{average_relative_error, scalarize, ErrorCache, FitnessEngine, Objectives};
 pub use pipeline::{run, PipelineConfig, PipelineResult};
 pub use validate::{validate, ValidationReport};

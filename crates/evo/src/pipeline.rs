@@ -13,7 +13,7 @@ use crate::congruence::CongruencePartition;
 use crate::evolution::{evolve, EvoConfig, EvoResult};
 use crate::expgen::ExperimentGenerator;
 use pmevo_core::{Experiment, InstId, MeasuredExperiment, ThreeLevelMapping};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Configuration of a full pipeline run.
@@ -132,7 +132,7 @@ pub fn run(
         CongruencePartition::identity(&universe)
     };
     let reps = partition.representatives().to_vec();
-    let rep_index: HashMap<InstId, u32> = reps
+    let rep_index: BTreeMap<InstId, u32> = reps
         .iter()
         .enumerate()
         .map(|(k, &id)| (id, k as u32))

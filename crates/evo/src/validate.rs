@@ -7,7 +7,7 @@
 //! simulated platforms the reference is the hidden ground truth; on
 //! real hardware it can be a published mapping (e.g. uops.info).
 
-use pmevo_core::{Experiment, InstId, ThreeLevelMapping};
+use pmevo_core::{Experiment, InstId, ThreeLevelMapping, ThroughputSolver};
 
 /// Outcome of validating an inferred mapping against a reference.
 #[derive(Debug, Clone)]
@@ -54,11 +54,14 @@ pub fn validate(
         reference.num_insts(),
         "mapping universes differ"
     );
+    // One solver for the whole report: probe sets can be large, and the
+    // reused scratch keeps every comparison allocation-free.
+    let mut solver = ThroughputSolver::new();
     let per_inst: Vec<f64> = (0..inferred.num_insts())
         .map(|i| {
             let e = Experiment::singleton(InstId(i as u32));
-            let a = inferred.throughput(&e);
-            let b = reference.throughput(&e);
+            let a = solver.mapping_throughput(inferred, &e);
+            let b = solver.mapping_throughput(reference, &e);
             (a - b).abs() / a.max(b).max(1e-12)
         })
         .collect();
@@ -69,8 +72,8 @@ pub fn validate(
         probes
             .iter()
             .map(|e| {
-                let a = inferred.throughput(e);
-                let b = reference.throughput(e);
+                let a = solver.mapping_throughput(inferred, e);
+                let b = solver.mapping_throughput(reference, e);
                 (a - b).abs() / a.max(b).max(1e-12)
             })
             .sum::<f64>()

@@ -1,0 +1,145 @@
+//! Property tests: the compiled, batched and delta evaluation paths of
+//! [`FitnessEngine`] return **exactly** (bit-for-bit) the same
+//! [`Objectives`] as the naive [`average_relative_error`] reference, on
+//! random mappings and random experiment sets (ISSUE 2 satellite).
+
+use proptest::prelude::*;
+use pmevo_core::{Experiment, InstId, MeasuredExperiment, PortSet, ThreeLevelMapping, UopEntry};
+use pmevo_evo::{average_relative_error, FitnessEngine, Objectives};
+use std::sync::Arc;
+
+const NUM_INSTS: usize = 6;
+const NUM_PORTS: usize = 4;
+
+fn mapping_strategy() -> impl Strategy<Value = ThreeLevelMapping> {
+    proptest::collection::vec(
+        proptest::collection::vec((1u32..4, 1u64..(1 << NUM_PORTS)), 1..4),
+        NUM_INSTS,
+    )
+    .prop_map(|decomp| {
+        ThreeLevelMapping::new(
+            NUM_PORTS,
+            decomp
+                .into_iter()
+                .map(|entries| {
+                    entries
+                        .into_iter()
+                        .map(|(n, mask)| UopEntry::new(n, PortSet::from_mask(mask)))
+                        .collect()
+                })
+                .collect(),
+        )
+    })
+}
+
+/// Random non-empty measured experiment sets over the instruction
+/// universe, with positive measured throughputs unrelated to any mapping
+/// (the equivalence must hold for arbitrary labels, not just consistent
+/// ones).
+fn experiments_strategy() -> impl Strategy<Value = Vec<MeasuredExperiment>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec((0u32..NUM_INSTS as u32, 1u32..4), 1..4),
+            0.25..8.0f64,
+        ),
+        1..20,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(counts, tp)| {
+                let pairs: Vec<(InstId, u32)> =
+                    counts.into_iter().map(|(i, n)| (InstId(i), n)).collect();
+                MeasuredExperiment::new(Experiment::from_counts(&pairs), tp)
+            })
+            .collect()
+    })
+}
+
+fn reference(mapping: &ThreeLevelMapping, experiments: &[MeasuredExperiment]) -> Objectives {
+    Objectives {
+        error: average_relative_error(mapping, experiments),
+        volume: mapping.volume(),
+    }
+}
+
+proptest! {
+    // Case budget: engine construction is cheap at thread count 1–2, so
+    // the workspace-wide cap of 128 cases per property holds here too
+    // (override with PROPTEST_CASES).
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Single evaluation through the engine's compiled path is exactly
+    /// the naive reference.
+    #[test]
+    fn engine_evaluate_is_bit_identical_to_reference(
+        m in mapping_strategy(),
+        exps in experiments_strategy(),
+    ) {
+        let mut engine = FitnessEngine::new(&exps, 1);
+        let got = engine.evaluate(&m);
+        let want = reference(&m, &exps);
+        prop_assert_eq!(got.error.to_bits(), want.error.to_bits());
+        prop_assert_eq!(got.volume, want.volume);
+        // Scratch reuse across candidates must not change anything.
+        let again = engine.evaluate(&m);
+        prop_assert_eq!(again.error.to_bits(), want.error.to_bits());
+    }
+
+    /// Batched evaluation over the worker pool equals the reference for
+    /// every candidate, in order.
+    #[test]
+    fn batch_evaluation_is_bit_identical_to_reference(
+        ms in proptest::collection::vec(mapping_strategy(), 1..6),
+        exps in experiments_strategy(),
+    ) {
+        let mut engine = FitnessEngine::new(&exps, 2);
+        let batch = Arc::new(ms);
+        let got = engine.evaluate_batch(&batch);
+        prop_assert_eq!(got.len(), batch.len());
+        for (m, o) in batch.iter().zip(&got) {
+            let want = reference(m, &exps);
+            prop_assert_eq!(o.error.to_bits(), want.error.to_bits());
+            prop_assert_eq!(o.volume, want.volume);
+        }
+    }
+
+    /// Delta re-evaluation after a single-instruction mutation equals a
+    /// full naive evaluation of the mutated mapping, and committing makes
+    /// the cache agree with it.
+    #[test]
+    fn delta_update_is_bit_identical_to_reference(
+        m in mapping_strategy(),
+        new_decomp in proptest::collection::vec((1u32..4, 1u64..(1 << NUM_PORTS)), 1..4),
+        changed_idx in 0..NUM_INSTS as u32,
+        exps in experiments_strategy(),
+    ) {
+        let mut engine = FitnessEngine::new(&exps, 1);
+        let mut cache = engine.build_cache(&m);
+        prop_assert_eq!(cache.mean_error().to_bits(), reference(&m, &exps).error.to_bits());
+
+        let changed = InstId(changed_idx);
+        let mut mutated = m.clone();
+        mutated.set_decomposition(
+            changed,
+            new_decomp
+                .into_iter()
+                .map(|(n, mask)| UopEntry::new(n, PortSet::from_mask(mask)))
+                .collect(),
+        );
+        let got = engine.try_update(&mutated, &cache, changed);
+        let want = reference(&mutated, &exps);
+        prop_assert_eq!(got.error.to_bits(), want.error.to_bits());
+        prop_assert_eq!(got.volume, want.volume);
+
+        engine.commit_update(&mut cache);
+        prop_assert_eq!(cache.mean_error().to_bits(), want.error.to_bits());
+
+        // A second mutation from the committed baseline stays exact.
+        let mut back = mutated.clone();
+        back.set_decomposition(changed, m.decomposition(changed).to_vec());
+        let got2 = engine.try_update(&back, &cache, changed);
+        let want2 = reference(&back, &exps);
+        prop_assert_eq!(got2.error.to_bits(), want2.error.to_bits());
+        prop_assert_eq!(got2.volume, want2.volume);
+    }
+}
