@@ -20,9 +20,18 @@
 //!   model trained on dependency-heavy basic blocks, which therefore
 //!   mispredicts dependency-free port-bound code (paper §5.3.1).
 
+//!
+//! Next to the *predictors*, the crate hosts the baseline *inference
+//! algorithms* of the session API ([`CountingAlgorithm`],
+//! [`RandomAlgorithm`], [`LpAlgorithm`]) — cheap
+//! [`pmevo_core::InferenceAlgorithm`]s that PMEvo's evolutionary search
+//! is compared against under identical backends and bookkeeping.
+
+mod algorithms;
 mod ithemal;
 mod mca;
 
+pub use algorithms::{CountingAlgorithm, LpAlgorithm, RandomAlgorithm};
 pub use ithemal::{IthemalConfig, IthemalLike};
 pub use mca::mca_like;
 

@@ -3,26 +3,26 @@
 //! and of the IACA-like pipeline model against measurements, for
 //! experiment lengths 1–15.
 //!
-//! Usage: `cargo run --release -p pmevo-bench --bin fig6 [--n 200] [--max-len 15]`
+//! Usage: `cargo run --release -p pmevo-bench --bin fig6 [--n 200] [--max-len 15] [--seed 6]`
 //!
 //! Paper defaults: 2 000 experiments per length (`--n 2000`).
 
 use pmevo_baselines::{oracle, IacaLike};
-use pmevo_bench::{measure_benchmark_set, sample_experiments, Args};
-use pmevo_core::{Experiment, ThroughputPredictor};
-use pmevo_machine::{platforms, MeasureConfig};
+use pmevo_bench::{measure_benchmark_set, sample_experiments, sim_backend, Args};
+use pmevo_core::{Experiment, MeasurementBackend, ThroughputPredictor};
+use pmevo_machine::platforms;
 use pmevo_stats::{mape, Table};
 
 fn main() {
     let args = Args::parse();
     let n = args.get_usize("n", if args.has("full") { 2000 } else { 200 });
     let max_len = args.get_usize("max-len", 15);
-    let seed = args.get_u64("seed", 6);
+    let seed = args.seed(6);
 
     let skl = platforms::skl();
     let uops_info = oracle(&skl);
     let iaca = IacaLike::new(&skl);
-    let measure_cfg = MeasureConfig::default();
+    let mut backend = sim_backend(&skl);
 
     println!("Figure 6: model error vs experiment length (SKL, n={n} per length)\n");
     let mut table = Table::new(vec!["length", "uops.info MAPE", "IACA MAPE"]);
@@ -34,7 +34,7 @@ fn main() {
         } else {
             sample_experiments(skl.isa().len(), len as u32, n, seed + len as u64)
         };
-        let benchmark = measure_benchmark_set(&skl, &measure_cfg, &experiments);
+        let benchmark = measure_benchmark_set(&mut backend, &experiments);
         let measured: Vec<f64> = benchmark.iter().map(|m| m.throughput).collect();
         let pred_uops: Vec<f64> = benchmark
             .iter()
@@ -54,6 +54,10 @@ fn main() {
         csv.push_str(&format!("{len},{m_uops:.3},{m_iaca:.3}\n"));
     }
     println!("{table}");
+    eprintln!(
+        "[fig6] {} simulator measurements performed",
+        backend.stats().measurements_performed
+    );
 
     let path = pmevo_bench::artifact_dir().join("fig6.csv");
     std::fs::write(&path, csv).expect("write fig6 csv");

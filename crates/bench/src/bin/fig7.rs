@@ -10,10 +10,11 @@
 
 use pmevo_baselines::{mca_like, oracle, IacaLike, IthemalConfig, IthemalLike};
 use pmevo_bench::{
-    artifact_dir, measure_benchmark_set, pmevo_mapping_cached, sample_experiments, Args,
+    artifact_dir, measure_benchmark_set, pmevo_mapping_cached, sample_experiments, sim_backend,
+    Args,
 };
 use pmevo_core::{MappingPredictor, MeasuredExperiment, ThroughputPredictor};
-use pmevo_machine::{platforms, MeasureConfig, Platform};
+use pmevo_machine::{platforms, Platform};
 use pmevo_stats::Heatmap;
 
 fn heatmap_for(
@@ -54,7 +55,7 @@ fn main() {
     let args = Args::parse();
     let n = args.get_usize("n", 1000);
     let scale = args.get_usize("scale", 1);
-    let seed = args.get_u64("seed", 7);
+    let seed = args.seed(7);
     let bins = args.get_usize("bins", 35);
 
     println!("Figure 7: predicted vs measured heat maps ({n} experiments of size 5)");
@@ -62,8 +63,8 @@ fn main() {
     for platform in [platforms::skl(), platforms::zen(), platforms::a72()] {
         eprintln!("[fig7] measuring on {} ...", platform.name());
         let experiments = sample_experiments(platform.isa().len(), 5, n, seed);
-        let benchmark =
-            measure_benchmark_set(&platform, &MeasureConfig::default(), &experiments);
+        let mut backend = sim_backend(&platform);
+        let benchmark = measure_benchmark_set(&mut backend, &experiments);
 
         let pmevo = MappingPredictor::new("PMEvo", pmevo_mapping_cached(&platform, scale, seed));
         emit(&platform, &pmevo, &heatmap_for(&pmevo, &benchmark, bins));

@@ -76,7 +76,7 @@ fn main() {
     let num_mappings = args.get_usize("mappings", 8);
     let num_experiments = args.get_usize("experiments", 32);
     let max_ports = args.get_usize("max-ports", 20);
-    let seed = args.get_u64("seed", 8);
+    let seed = args.seed(8);
     let mut csv = String::from("panel,x,bn_seconds,lp_seconds\n");
 
     println!("Figure 8a: time/experiment vs number of ports (experiment length 4)\n");

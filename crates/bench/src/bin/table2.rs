@@ -1,27 +1,28 @@
-//! Reproduces paper Table 2: PMEvo mapping characteristics — the full
-//! inference pipeline per platform, reporting benchmarking time,
-//! inference time, congruence ratio and distinct-µop count. The inferred
-//! mappings are cached in the artifact directory for `table3`, `table4`
-//! and `fig7`.
+//! Reproduces paper Table 2: PMEvo mapping characteristics — one
+//! inference [`pmevo::Session`] per platform, reporting benchmarking
+//! time, inference time, measurement counts, congruence ratio and
+//! distinct-µop count. The inferred mappings are cached in the artifact
+//! directory for `table3`, `table4` and `fig7`, next to the full
+//! session reports.
 //!
 //! Usage: `cargo run --release -p pmevo-bench --bin table2
-//!         [--platform SKL|ZEN|A72] [--scale 1] [--seed 2]`
+//!         [--platform SKL|ZEN|A72] [--algorithm pmevo|counting|random|lp]
+//!         [--scale 1] [--seed 2] [--jobs 1]`
 //!
 //! The paper ran with population 100 000 over hours of machine time;
 //! `--scale N` multiplies the default population of 300 (use `--scale 10`
-//! with `--full`-style patience for higher fidelity).
+//! with `--full`-style patience for higher fidelity). `--jobs N` runs
+//! the per-platform sessions concurrently over a shared worker pool.
 
-use pmevo_bench::{
-    artifact_dir, default_pipeline_config, parallel_measure, save_mapping, selected_platforms,
-    Args,
-};
-use pmevo_machine::MeasureConfig;
+use pmevo::{Service, Session};
+use pmevo_bench::{artifact_dir, save_mapping, selected_algorithm, selected_platforms, Args};
 use pmevo_stats::Table;
 
 fn main() {
     let args = Args::parse();
     let scale = args.get_usize("scale", 1);
-    let seed = args.get_u64("seed", 2);
+    let seed = args.seed(2);
+    let jobs = args.get_usize("jobs", 1);
     let platforms = selected_platforms(&args);
 
     println!(
@@ -32,38 +33,50 @@ fn main() {
         "",
         "benchmarking time",
         "inference time",
+        "measurements",
         "insns found congruent",
         "number of µops",
     ]);
 
-    for platform in &platforms {
-        eprintln!("[table2] inferring mapping for {} ...", platform.name());
-        let measure_cfg = MeasureConfig::default();
-        let config = default_pipeline_config(scale, seed);
-        let result = pmevo_evo::run(
-            platform.isa().len(),
-            platform.num_ports(),
-            |exps| parallel_measure(platform, &measure_cfg, exps),
-            &config,
-        );
+    let sessions: Vec<Session> = platforms
+        .iter()
+        .map(|platform| {
+            eprintln!("[table2] queueing inference for {} ...", platform.name());
+            pmevo_bench::inference_session(platform, selected_algorithm(&args, scale, seed), seed)
+        })
+        .collect();
+    let reports = Service::new(jobs.max(1)).run_many(sessions);
+
+    for (platform, report) in platforms.iter().zip(reports) {
+        // Artifacts are keyed by algorithm so a baseline run can never
+        // masquerade as the PMEvo mapping that `pmevo_mapping_cached`
+        // (and thus table3/table4/fig7) picks up.
         let path = artifact_dir().join(format!(
-            "pmevo_{}_x{scale}.json",
+            "{}_{}_x{scale}.json",
+            report.algorithm.to_lowercase(),
             platform.name().to_lowercase()
         ));
-        save_mapping(&path, &result.mapping);
+        save_mapping(&path, &report.mapping);
+        let report_path = artifact_dir().join(format!(
+            "session_{}_{}_x{scale}.json",
+            report.algorithm.to_lowercase(),
+            platform.name().to_lowercase()
+        ));
+        std::fs::write(&report_path, report.to_json_pretty()).expect("write session report");
         eprintln!(
-            "[table2] {}: D_avg = {:.4}, {} generations, mapping cached at {}",
+            "[table2] {}: D_avg = {:.4}, mapping cached at {}, report at {}",
             platform.name(),
-            result.evo.objectives.error,
-            result.evo.generations,
-            path.display()
+            report.training_error.unwrap_or(f64::NAN),
+            path.display(),
+            report_path.display()
         );
         table.row(vec![
             platform.name().to_string(),
-            format!("{:.1?}", result.benchmarking_time),
-            format!("{:.1?}", result.inference_time),
-            format!("{:.0}%", 100.0 * result.congruent_fraction),
-            result.num_distinct_uops().to_string(),
+            format!("{:.1?}", report.benchmarking_time),
+            format!("{:.1?}", report.inference_time),
+            report.measurements_performed.to_string(),
+            format!("{:.0}%", 100.0 * report.congruent_fraction),
+            report.mapping.num_distinct_uops().to_string(),
         ]);
     }
     println!("{table}");

@@ -10,22 +10,24 @@
 
 use pmevo_baselines::{mca_like, oracle, IacaLike, IthemalConfig, IthemalLike};
 use pmevo_bench::{
-    evaluate_predictor, measure_benchmark_set, pmevo_mapping_cached, sample_experiments, Args,
+    evaluate_predictor, measure_benchmark_set, pmevo_mapping_cached, sample_experiments,
+    sim_backend, Args,
 };
 use pmevo_core::{MappingPredictor, ThroughputPredictor};
-use pmevo_machine::{platforms, MeasureConfig};
+use pmevo_machine::platforms;
 use pmevo_stats::Table;
 
 fn main() {
     let args = Args::parse();
     let n = args.get_usize("n", if args.has("full") { 40_000 } else { 2_000 });
     let scale = args.get_usize("scale", 1);
-    let seed = args.get_u64("seed", 3);
+    let seed = args.seed(3);
 
     let skl = platforms::skl();
     eprintln!("[table3] measuring {n} size-5 experiments on SKL ...");
     let experiments = sample_experiments(skl.isa().len(), 5, n, seed);
-    let benchmark = measure_benchmark_set(&skl, &MeasureConfig::default(), &experiments);
+    let mut backend = sim_backend(&skl);
+    let benchmark = measure_benchmark_set(&mut backend, &experiments);
 
     eprintln!("[table3] loading/inferring the PMEvo mapping ...");
     let pmevo = MappingPredictor::new("PMEvo", pmevo_mapping_cached(&skl, scale, seed));

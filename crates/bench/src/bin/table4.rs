@@ -7,17 +7,18 @@
 
 use pmevo_baselines::mca_like;
 use pmevo_bench::{
-    evaluate_predictor, measure_benchmark_set, pmevo_mapping_cached, sample_experiments, Args,
+    evaluate_predictor, measure_benchmark_set, pmevo_mapping_cached, sample_experiments,
+    sim_backend, Args,
 };
 use pmevo_core::{MappingPredictor, ThroughputPredictor};
-use pmevo_machine::{platforms, MeasureConfig};
+use pmevo_machine::platforms;
 use pmevo_stats::Table;
 
 fn main() {
     let args = Args::parse();
     let n = args.get_usize("n", if args.has("full") { 40_000 } else { 2_000 });
     let scale = args.get_usize("scale", 1);
-    let seed = args.get_u64("seed", 4);
+    let seed = args.seed(4);
 
     println!("Table 4: prediction accuracy on ZEN and A72 ({n} experiments of size 5)\n");
     let mut table = Table::new(vec!["", "MAPE", "Pearson CC", "Spearman CC"]);
@@ -25,8 +26,8 @@ fn main() {
     for platform in [platforms::zen(), platforms::a72()] {
         eprintln!("[table4] measuring on {} ...", platform.name());
         let experiments = sample_experiments(platform.isa().len(), 5, n, seed);
-        let benchmark =
-            measure_benchmark_set(&platform, &MeasureConfig::default(), &experiments);
+        let mut backend = sim_backend(&platform);
+        let benchmark = measure_benchmark_set(&mut backend, &experiments);
         let pmevo = MappingPredictor::new(
             format!("PMEvo ({})", platform.name()),
             pmevo_mapping_cached(&platform, scale, seed),

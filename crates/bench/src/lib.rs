@@ -2,14 +2,25 @@
 //! table/figure; see DESIGN.md §4 for the full experiment index).
 //!
 //! Everything here is deliberately boring plumbing: benchmark-set
-//! sampling, parallel measurement, predictor evaluation, a tiny CLI-flag
-//! parser, and the artifact cache that lets `table3`/`table4`/`fig7`
-//! reuse the mappings inferred by `table2` instead of re-running
-//! inference.
+//! sampling, backend-based measurement, predictor evaluation, the
+//! shared CLI flags (`--seed`, `--platform`, `--algorithm`, …) every
+//! binary understands, and the artifact cache that lets
+//! `table3`/`table4`/`fig7` reuse the mappings inferred by `table2`
+//! instead of re-running inference.
+//!
+//! Measurement and inference go through the session API: a
+//! [`SimBackend`] per platform, [`pmevo::Session`] for inference runs,
+//! and [`selected_algorithm`] to swap PMEvo for one of the baseline
+//! [`InferenceAlgorithm`]s from the command line.
 
-use pmevo_core::{Experiment, InstId, MeasuredExperiment, ThreeLevelMapping, ThroughputPredictor};
-use pmevo_evo::{EvoConfig, PipelineConfig};
-use pmevo_machine::{MeasureConfig, Measurer, Platform};
+use pmevo::Session;
+use pmevo_baselines::{CountingAlgorithm, LpAlgorithm, RandomAlgorithm};
+use pmevo_core::{
+    Experiment, InferenceAlgorithm, InstId, MeasuredExperiment, MeasurementBackend,
+    ThreeLevelMapping, ThroughputPredictor,
+};
+use pmevo_evo::{EvoConfig, PipelineConfig, PmEvoAlgorithm};
+use pmevo_machine::{MeasureConfig, Platform, SimBackend};
 use pmevo_stats::AccuracySummary;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,42 +45,20 @@ pub fn sample_experiments(
         .collect()
 }
 
-/// Measures experiments on `platform` in parallel across all cores.
-pub fn parallel_measure(
-    platform: &Platform,
-    config: &MeasureConfig,
-    experiments: &[Experiment],
-) -> Vec<f64> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(experiments.len().max(1));
-    let chunk = experiments.len().div_ceil(threads).max(1);
-    let mut out = Vec::with_capacity(experiments.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = experiments
-            .chunks(chunk)
-            .map(|exps| {
-                scope.spawn(move || {
-                    let measurer = Measurer::new(platform, config.clone());
-                    exps.iter().map(|e| measurer.measure(e)).collect::<Vec<f64>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("measurement worker panicked"));
-        }
-    });
-    out
+/// The default measurement backend for a platform: the cycle-level
+/// simulator with the paper's noisy measurement harness, batches
+/// chunked across all cores.
+pub fn sim_backend(platform: &Platform) -> SimBackend {
+    SimBackend::new(platform.clone(), MeasureConfig::default())
 }
 
-/// Measures a benchmark set and pairs experiments with throughputs.
+/// Measures a benchmark set through a backend and pairs experiments
+/// with throughputs.
 pub fn measure_benchmark_set(
-    platform: &Platform,
-    config: &MeasureConfig,
+    backend: &mut dyn MeasurementBackend,
     experiments: &[Experiment],
 ) -> Vec<MeasuredExperiment> {
-    let tps = parallel_measure(platform, config, experiments);
+    let tps = backend.measure_batch(experiments);
     experiments
         .iter()
         .cloned()
@@ -121,6 +110,21 @@ pub fn default_pipeline_config(scale: usize, seed: u64) -> PipelineConfig {
     }
 }
 
+/// Builds the inference session the reproduction binaries run: the
+/// selected algorithm over the platform's simulator backend.
+pub fn inference_session(
+    platform: &Platform,
+    algorithm: impl InferenceAlgorithm + Send + 'static,
+    seed: u64,
+) -> Session {
+    Session::builder()
+        .platform(platform.clone())
+        .algorithm(algorithm)
+        .seed(seed)
+        .build()
+        .expect("a platform-backed session configuration is always valid")
+}
+
 /// Infers a PMEvo mapping for `platform`, caching the result as JSON in
 /// the artifact directory (keyed by platform name and scale).
 ///
@@ -140,15 +144,10 @@ pub fn pmevo_mapping_cached(platform: &Platform, scale: usize, seed: u64) -> Thr
         "[pmevo-bench] no cached mapping at {}; running inference (use `table2` to pre-compute)",
         path.display()
     );
-    let measure_cfg = MeasureConfig::default();
-    let result = pmevo_evo::run(
-        platform.isa().len(),
-        platform.num_ports(),
-        |exps| parallel_measure(platform, &measure_cfg, exps),
-        &default_pipeline_config(scale, seed),
-    );
-    save_mapping(&path, &result.mapping);
-    result.mapping
+    let algorithm = PmEvoAlgorithm::new(default_pipeline_config(scale, seed));
+    let report = inference_session(platform, algorithm, seed).run();
+    save_mapping(&path, &report.mapping);
+    report.mapping
 }
 
 /// Loads a cached mapping if present and shape-compatible.
@@ -181,7 +180,7 @@ pub fn save_mapping(path: &Path, mapping: &ThreeLevelMapping) {
 /// let args = Args::parse_from(["--n", "100", "--full"].iter().map(|s| s.to_string()));
 /// assert_eq!(args.get_usize("n", 5), 100);
 /// assert!(args.has("full"));
-/// assert_eq!(args.get_usize("seed", 7), 7);
+/// assert_eq!(args.seed(7), 7);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -239,6 +238,15 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// The shared `--seed` flag, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    pub fn seed(&self, default: u64) -> u64 {
+        self.get_u64("seed", default)
+    }
+
     /// The raw value of `--name`, if given.
     pub fn get_str(&self, name: &str) -> Option<&str> {
         self.pairs
@@ -248,7 +256,8 @@ impl Args {
     }
 }
 
-/// Resolves the platforms selected by `--platform NAME` (default: all).
+/// Resolves the platforms selected by the shared `--platform NAME` flag
+/// (default: all).
 ///
 /// # Panics
 ///
@@ -263,6 +272,27 @@ pub fn selected_platforms(args: &Args) -> Vec<Platform> {
             "A72" => vec![platforms::a72()],
             other => panic!("unknown platform {other}; expected SKL, ZEN or A72"),
         },
+    }
+}
+
+/// Resolves the shared `--algorithm NAME` flag into an
+/// [`InferenceAlgorithm`] (default: `pmevo`). `scale` and `seed` only
+/// affect the algorithms that use them.
+///
+/// # Panics
+///
+/// Panics on an unknown algorithm name.
+pub fn selected_algorithm(
+    args: &Args,
+    scale: usize,
+    seed: u64,
+) -> Box<dyn InferenceAlgorithm + Send> {
+    match args.get_str("algorithm").unwrap_or("pmevo") {
+        "pmevo" => Box::new(PmEvoAlgorithm::new(default_pipeline_config(scale, seed))),
+        "counting" => Box::new(CountingAlgorithm),
+        "random" => Box::new(RandomAlgorithm::new(seed)),
+        "lp" => Box::new(LpAlgorithm::default()),
+        other => panic!("unknown algorithm {other}; expected pmevo, counting, random or lp"),
     }
 }
 
@@ -281,29 +311,46 @@ mod tests {
     }
 
     #[test]
-    fn parallel_measure_matches_sequential() {
+    fn backend_measurement_pairs_experiments_in_order() {
         let p = platforms::skl();
-        let cfg = MeasureConfig::exact();
         let exps = sample_experiments(p.isa().len(), 3, 6, 3);
-        let par = parallel_measure(&p, &cfg, &exps);
-        let measurer = Measurer::new(&p, cfg.clone());
-        for (e, &t) in exps.iter().zip(&par) {
-            assert_eq!(measurer.measure(e), t);
+        let mut backend = SimBackend::new(p.clone(), MeasureConfig::exact());
+        let benchmark = measure_benchmark_set(&mut backend, &exps);
+        assert_eq!(benchmark.len(), exps.len());
+        let measurer = pmevo_machine::Measurer::new(&p, MeasureConfig::exact());
+        for (me, e) in benchmark.iter().zip(&exps) {
+            assert_eq!(&me.experiment, e);
+            assert_eq!(me.throughput, measurer.measure(e));
         }
     }
 
     #[test]
     fn args_parser_handles_flags_and_values() {
         let args = Args::parse_from(
-            ["--n", "42", "--full", "--platform", "zen"]
+            ["--n", "42", "--full", "--platform", "zen", "--seed", "9"]
                 .iter()
                 .map(|s| s.to_string()),
         );
         assert_eq!(args.get_usize("n", 0), 42);
         assert!(args.has("full"));
+        assert_eq!(args.seed(0), 9);
         assert_eq!(args.get_str("platform"), Some("zen"));
         assert_eq!(selected_platforms(&args)[0].name(), "ZEN");
         assert_eq!(selected_platforms(&Args::default()).len(), 3);
+    }
+
+    #[test]
+    fn algorithm_flag_selects_each_implementation() {
+        for (flag, name) in [
+            ("pmevo", "PMEvo"),
+            ("counting", "counting"),
+            ("random", "random"),
+            ("lp", "lp"),
+        ] {
+            let args = Args::parse_from(["--algorithm", flag].iter().map(|s| s.to_string()));
+            assert_eq!(selected_algorithm(&args, 1, 0).name(), name);
+        }
+        assert_eq!(selected_algorithm(&Args::default(), 1, 0).name(), "PMEvo");
     }
 
     #[test]

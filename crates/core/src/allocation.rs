@@ -37,7 +37,7 @@ pub struct Bottleneck {
 ///
 /// # Panics
 ///
-/// Panics if more than [`crate::bottleneck_impl::MAX_ENUMERABLE_PORTS`]
+/// Panics if more than [`crate::bottleneck::MAX_ENUMERABLE_PORTS`]
 /// ports are live.
 pub fn bottleneck_set(masses: &MassVector) -> Option<Bottleneck> {
     let live = masses.live_ports();

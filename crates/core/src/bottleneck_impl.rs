@@ -330,7 +330,7 @@ fn best_quotient(best_by_size: &[f64], k: usize) -> f64 {
 
 /// Computes `t*_m(e)` with the bottleneck simulation algorithm: mass
 /// aggregation followed by either union-closure enumeration or the
-/// subset-sum transform (see [`kernel_from_compacted`] for the strategy
+/// subset-sum transform (see `kernel_from_compacted` for the strategy
 /// choice — both are exact).
 ///
 /// Only the *live* ports (those usable by at least one µop with positive

@@ -1,0 +1,101 @@
+//! The inference half of the session API: [`InferenceAlgorithm`]
+//! unifies every way of producing a port mapping from measurements.
+//!
+//! PMEvo's evolutionary pipeline (`pmevo-evo`), the LP-regression
+//! baseline and the counting/random baselines (`pmevo-baselines`) all
+//! implement this trait, so the session facade and the comparison
+//! binaries can treat "run inference" as one typed operation:
+//! `algorithm.infer(num_insts, num_ports, backend)` returns an
+//! [`InferredMapping`] carrying the mapping plus uniform bookkeeping
+//! (benchmarking/inference time, measurement counts, congruence stats).
+
+use crate::backend::MeasurementBackend;
+use crate::ThreeLevelMapping;
+use std::time::Duration;
+
+/// A port-mapping inference algorithm, driven entirely through a
+/// [`MeasurementBackend`].
+///
+/// Implementations decide which experiments to measure; the universe is
+/// given as dense instruction ids `0..num_insts` over `num_ports`
+/// execution ports (the backend must understand the same universe).
+pub trait InferenceAlgorithm {
+    /// A human-readable algorithm name for reports and logs.
+    fn name(&self) -> &str;
+
+    /// Infers a mapping for the instruction universe `0..num_insts` on a
+    /// `num_ports`-port machine, measuring through `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_insts == 0` or the backend misbehaves (wrong batch
+    /// sizes, non-positive measurements).
+    fn infer(
+        &self,
+        num_insts: usize,
+        num_ports: usize,
+        backend: &mut dyn MeasurementBackend,
+    ) -> InferredMapping;
+
+    /// Caps the worker threads the algorithm may use for internal
+    /// parallelism (fitness evaluation). The default implementation is a
+    /// no-op for algorithms without internal parallelism.
+    ///
+    /// Results must not depend on the value — parallel inference has to
+    /// stay bit-identical to single-threaded inference.
+    fn set_worker_threads(&mut self, _threads: usize) {}
+}
+
+impl<A: InferenceAlgorithm + ?Sized> InferenceAlgorithm for Box<A> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn infer(
+        &self,
+        num_insts: usize,
+        num_ports: usize,
+        backend: &mut dyn MeasurementBackend,
+    ) -> InferredMapping {
+        (**self).infer(num_insts, num_ports, backend)
+    }
+    fn set_worker_threads(&mut self, threads: usize) {
+        (**self).set_worker_threads(threads)
+    }
+}
+
+/// The uniform result of one [`InferenceAlgorithm::infer`] run: the
+/// mapping plus the bookkeeping of paper Table 2, comparable across
+/// algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferredMapping {
+    /// Name of the algorithm that produced the mapping.
+    pub algorithm: String,
+    /// The inferred mapping over the full instruction universe.
+    pub mapping: ThreeLevelMapping,
+    /// Number of distinct experiments in the training set.
+    pub num_experiments: usize,
+    /// Real measurements performed by the backend during inference
+    /// (deduplicated measurements are counted once; see
+    /// [`crate::CachingBackend`]).
+    pub measurements_performed: u64,
+    /// Wall-clock time the backend spent measuring during inference.
+    pub benchmarking_time: Duration,
+    /// Wall-clock time spent inferring (everything but measurement).
+    pub inference_time: Duration,
+    /// Fraction of instructions merged into another instruction's
+    /// congruence class (0 for algorithms without congruence filtering).
+    pub congruent_fraction: f64,
+    /// Number of congruence classes the algorithm worked on
+    /// (`num_insts` when no filtering happened).
+    pub num_classes: usize,
+    /// Average relative error `D_avg` of the mapping on the algorithm's
+    /// training experiments, when the algorithm evaluates it.
+    pub training_error: Option<f64>,
+}
+
+impl InferredMapping {
+    /// Number of distinct µops of the inferred mapping (paper Table 2).
+    pub fn num_distinct_uops(&self) -> usize {
+        self.mapping.num_distinct_uops()
+    }
+}

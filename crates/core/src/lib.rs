@@ -38,17 +38,25 @@
 //! ```
 
 pub mod allocation;
+pub mod backend;
 mod bottleneck_impl;
 mod eval;
 mod experiment;
+mod infer;
 pub mod json;
 mod mapping;
 mod ports;
 mod predict;
 pub mod render;
 
+pub use backend::{
+    measurements_from_json, measurements_to_json, measurements_to_json_pretty, BackendStats,
+    CachingBackend, MeasurementBackend, MeasurementJsonError, ModelBackend, NoisyBackend,
+    ReplayBackend,
+};
 pub use eval::{CompiledExperiments, ThroughputSolver};
 pub use experiment::{Experiment, MeasuredExperiment};
+pub use infer::{InferenceAlgorithm, InferredMapping};
 pub use mapping::{MappingJsonError, ThreeLevelMapping, TwoLevelMapping, UopEntry};
 pub use ports::{PortId, PortSet, PortSetIter, MAX_PORTS};
 pub use predict::{prediction_agreement, MappingPredictor, ThroughputPredictor};
@@ -56,7 +64,7 @@ pub use predict::{prediction_agreement, MappingPredictor, ThroughputPredictor};
 /// The bottleneck simulation algorithm and its LP reference implementation.
 pub mod bottleneck {
     pub use crate::bottleneck_impl::{
-        lp_throughput, throughput_fast, throughput_naive, MassVector,
+        lp_throughput, throughput_fast, throughput_naive, MassVector, MAX_ENUMERABLE_PORTS,
     };
 }
 

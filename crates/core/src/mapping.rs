@@ -281,7 +281,9 @@ impl ThreeLevelMapping {
         crate::json::write_pretty(&self.to_json_value())
     }
 
-    fn to_json_value(&self) -> crate::json::Value {
+    /// The mapping as a [`crate::json::Value`] tree, for embedding into
+    /// larger documents (session reports, artifact bundles).
+    pub fn to_json_value(&self) -> crate::json::Value {
         use crate::json::Value;
         let decomp = self
             .decomp
@@ -310,6 +312,12 @@ impl ThreeLevelMapping {
     /// [`Self::to_json_pretty`], re-validating and re-normalizing it.
     pub fn from_json(input: &str) -> Result<Self, MappingJsonError> {
         let doc = crate::json::parse(input).map_err(MappingJsonError::Parse)?;
+        Self::from_json_value(&doc)
+    }
+
+    /// Reads a mapping from an already-parsed [`crate::json::Value`]
+    /// tree (the inverse of [`Self::to_json_value`]).
+    pub fn from_json_value(doc: &crate::json::Value) -> Result<Self, MappingJsonError> {
         let shape = |what: &str| MappingJsonError::Shape(what.to_owned());
         let num_ports = doc
             .get("num_ports")

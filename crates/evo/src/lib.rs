@@ -8,10 +8,13 @@
 //!     CongruencePartition ──► evolve() + hill climbing ──► mapping
 //! ```
 //!
-//! [`pipeline::run`] wires all stages against a measurement function and
-//! reports the bookkeeping of paper Table 2 (benchmarking time, inference
-//! time, congruence ratio, distinct-µop count).
+//! [`pipeline::run`] wires all stages against a
+//! [`pmevo_core::MeasurementBackend`] and reports the bookkeeping of
+//! paper Table 2 (benchmarking time, inference time, congruence ratio,
+//! distinct-µop count). [`PmEvoAlgorithm`] packages the pipeline as a
+//! [`pmevo_core::InferenceAlgorithm`] for the session API.
 
+pub mod algorithm;
 pub mod congruence;
 pub mod evolution;
 pub mod expgen;
@@ -19,6 +22,7 @@ pub mod fitness;
 pub mod pipeline;
 pub mod validate;
 
+pub use algorithm::PmEvoAlgorithm;
 pub use congruence::CongruencePartition;
 pub use evolution::{evolve, EvoConfig, EvoResult};
 pub use expgen::ExperimentGenerator;

@@ -5,14 +5,20 @@
 //! paper Table 2 (benchmarking time, inference time, fraction of
 //! congruent instructions, number of distinct µops).
 //!
-//! Measurement is abstracted as a *batch* closure
-//! `FnMut(&[Experiment]) -> Vec<f64>` so that callers can measure on a
-//! simulator (this workspace), on real hardware, or in parallel.
+//! Measurement goes through a [`MeasurementBackend`] — a simulator
+//! ([`SimBackend`](../../pmevo_machine/struct.SimBackend.html)), a
+//! recorded artifact ([`pmevo_core::ReplayBackend`]), real hardware, or
+//! any decorator stack over those. Benchmarking time and measurement
+//! counts come from the backend's [`BackendStats`] delta, so a
+//! [`pmevo_core::CachingBackend`] that answers from its cache is not
+//! billed again.
 
 use crate::congruence::CongruencePartition;
 use crate::evolution::{evolve, EvoConfig, EvoResult};
 use crate::expgen::ExperimentGenerator;
-use pmevo_core::{Experiment, InstId, MeasuredExperiment, ThreeLevelMapping};
+use pmevo_core::{
+    BackendStats, InstId, MeasuredExperiment, MeasurementBackend, ThreeLevelMapping,
+};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -52,10 +58,15 @@ pub struct PipelineResult {
     /// (every instruction carries its class representative's
     /// decomposition).
     pub mapping: ThreeLevelMapping,
-    /// Time spent measuring experiment throughputs.
+    /// Time the backend spent performing real measurements (from its
+    /// [`BackendStats`]; cache hits of a
+    /// [`pmevo_core::CachingBackend`] cost nothing here).
     pub benchmarking_time: Duration,
     /// Time spent in congruence filtering + evolution + local search.
     pub inference_time: Duration,
+    /// Real measurements the backend performed for this run (deduped
+    /// experiments are counted once).
+    pub measurements_performed: u64,
     /// Fraction of instructions merged into another instruction's class.
     pub congruent_fraction: f64,
     /// Number of congruence classes (= instructions seen by evolution).
@@ -76,44 +87,34 @@ impl PipelineResult {
 
 /// Runs the full PMEvo pipeline on an instruction universe of
 /// `num_insts` forms (ids `0..num_insts`) over a machine with
-/// `num_ports` ports.
-///
-/// `measure_batch` receives experiments and must return one measured
-/// throughput (cycles per experiment instance) per experiment, in order.
+/// `num_ports` ports, measuring through `backend`.
 ///
 /// # Panics
 ///
-/// Panics if `num_insts == 0`, the measurement closure returns the wrong
-/// number of results, or measurements are not positive and finite.
+/// Panics if `num_insts == 0`, the backend returns the wrong number of
+/// results, or measurements are not positive and finite.
 pub fn run(
     num_insts: usize,
     num_ports: usize,
-    mut measure_batch: impl FnMut(&[Experiment]) -> Vec<f64>,
+    backend: &mut dyn MeasurementBackend,
     config: &PipelineConfig,
 ) -> PipelineResult {
     assert!(num_insts > 0, "empty instruction universe");
     let universe: Vec<InstId> = (0..num_insts as u32).map(InstId).collect();
     let generator = ExperimentGenerator::new(universe.clone());
 
-    let mut measure = |exps: &[Experiment]| -> Vec<f64> {
-        let out = measure_batch(exps);
-        assert_eq!(out.len(), exps.len(), "measurement batch size mismatch");
-        for (e, &t) in exps.iter().zip(&out) {
-            assert!(t.is_finite() && t > 0.0, "bad measurement {t} for {e}");
-        }
-        out
-    };
-
-    // Stage 1+2: generate and measure experiments.
-    let bench_start = Instant::now();
+    // Stage 1+2: generate and measure experiments. Cost is accounted by
+    // the backend itself, so deduplicated measurements are not
+    // double-counted.
+    let stats_before: BackendStats = backend.stats();
     let singletons = generator.singletons();
-    let indiv_tp = measure(&singletons);
+    let indiv_tp = backend.measure_batch_checked(&singletons);
     let mut extra = generator.pairs(&indiv_tp);
     if config.extra_triples > 0 {
         extra.extend(generator.triples(config.extra_triples, config.evo.seed ^ 0x7319));
     }
-    let extra_tp = measure(&extra);
-    let benchmarking_time = bench_start.elapsed();
+    let extra_tp = backend.measure_batch_checked(&extra);
+    let bench_stats = backend.stats().since(&stats_before);
 
     let mut measured: Vec<MeasuredExperiment> = Vec::with_capacity(singletons.len() + extra.len());
     for (e, t) in singletons.iter().cloned().zip(indiv_tp.iter().copied()) {
@@ -178,8 +179,9 @@ pub fn run(
 
     PipelineResult {
         mapping,
-        benchmarking_time,
+        benchmarking_time: bench_stats.measurement_time,
         inference_time,
+        measurements_performed: bench_stats.measurements_performed,
         congruent_fraction: partition.merged_fraction(),
         num_classes: partition.num_classes(),
         num_experiments,
@@ -190,7 +192,7 @@ pub fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmevo_core::{PortSet, UopEntry};
+    use pmevo_core::{CachingBackend, Experiment, ModelBackend, PortSet, UopEntry};
 
     fn uop(count: u32, ports: &[usize]) -> UopEntry {
         UopEntry::new(count, PortSet::from_ports(ports))
@@ -228,13 +230,8 @@ mod tests {
 
     #[test]
     fn pipeline_recovers_toy_machine_behaviour() {
-        let gt = toy_ground_truth();
-        let result = run(
-            5,
-            3,
-            |exps| exps.iter().map(|e| gt.throughput(e)).collect(),
-            &small_config(),
-        );
+        let mut backend = ModelBackend::new(toy_ground_truth());
+        let result = run(5, 3, &mut backend, &small_config());
         // Congruence: 5 forms -> 3 classes.
         assert_eq!(result.num_classes, 3);
         assert!((result.congruent_fraction - 0.4).abs() < 1e-12);
@@ -259,44 +256,71 @@ mod tests {
 
     #[test]
     fn disabled_filtering_keeps_all_classes() {
-        let gt = toy_ground_truth();
         let mut cfg = small_config();
         cfg.congruence_filtering = false;
         cfg.evo.max_generations = 5;
-        let result = run(5, 3, |exps| exps.iter().map(|e| gt.throughput(e)).collect(), &cfg);
+        let mut backend = ModelBackend::new(toy_ground_truth());
+        let result = run(5, 3, &mut backend, &cfg);
         assert_eq!(result.num_classes, 5);
         assert_eq!(result.congruent_fraction, 0.0);
     }
 
     #[test]
     fn bookkeeping_is_populated() {
-        let gt = toy_ground_truth();
         let mut cfg = small_config();
         cfg.evo.max_generations = 3;
-        let result = run(5, 3, |exps| exps.iter().map(|e| gt.throughput(e)).collect(), &cfg);
+        let mut backend = ModelBackend::new(toy_ground_truth());
+        let result = run(5, 3, &mut backend, &cfg);
         assert!(result.num_experiments >= 5 + 10);
+        assert_eq!(result.measurements_performed, result.num_experiments as u64);
         assert!(result.num_distinct_uops() >= 1);
         assert!(result.inference_time > Duration::ZERO);
     }
 
     #[test]
+    fn cached_measurements_are_not_billed_again() {
+        let mut cfg = small_config();
+        cfg.evo.max_generations = 2;
+        let mut backend = CachingBackend::new(ModelBackend::new(toy_ground_truth()));
+        let first = run(5, 3, &mut backend, &cfg);
+        assert_eq!(first.measurements_performed, first.num_experiments as u64);
+        // The second run over the same universe hits the cache for every
+        // experiment: zero real measurements, zero benchmarking time.
+        let second = run(5, 3, &mut backend, &cfg);
+        assert_eq!(second.num_experiments, first.num_experiments);
+        assert_eq!(second.measurements_performed, 0);
+        assert_eq!(second.benchmarking_time, Duration::ZERO);
+    }
+
+    /// A backend that always returns one measurement, whatever the batch.
+    struct BrokenBackend;
+
+    impl MeasurementBackend for BrokenBackend {
+        fn measure_batch(&mut self, _experiments: &[Experiment]) -> Vec<f64> {
+            vec![1.0]
+        }
+        fn name(&self) -> &str {
+            "broken"
+        }
+        fn stats(&self) -> BackendStats {
+            BackendStats::default()
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "batch size mismatch")]
     fn wrong_measurement_count_panics() {
-        run(2, 2, |_| vec![1.0], &small_config());
+        run(2, 2, &mut BrokenBackend, &small_config());
     }
 
     #[test]
     fn extra_triples_extend_the_training_set() {
-        let gt = toy_ground_truth();
         let mut base_cfg = small_config();
         base_cfg.evo.max_generations = 2;
         let mut triple_cfg = base_cfg.clone();
         triple_cfg.extra_triples = 6;
-        let measure = |exps: &[Experiment]| -> Vec<f64> {
-            exps.iter().map(|e| gt.throughput(e)).collect()
-        };
-        let base = run(5, 3, measure, &base_cfg);
-        let with_triples = run(5, 3, measure, &triple_cfg);
+        let base = run(5, 3, &mut ModelBackend::new(toy_ground_truth()), &base_cfg);
+        let with_triples = run(5, 3, &mut ModelBackend::new(toy_ground_truth()), &triple_cfg);
         assert_eq!(
             with_triples.num_experiments,
             base.num_experiments + 6,

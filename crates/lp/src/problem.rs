@@ -130,6 +130,60 @@ impl Problem {
         });
     }
 
+    /// Builds the least-absolute-deviations regression LP: find
+    /// non-negative weights `w` minimizing `Σ_r |rowsᵣ·w − targetsᵣ|`.
+    ///
+    /// Each residual is linearized with a split slack pair `(u_r, v_r)`:
+    /// variables are `w_0..w_{num_weights}` followed by the slack pairs
+    /// in row order, the objective is `Σ (u_r + v_r)`, and each row
+    /// contributes `rowsᵣ·w + u_r − v_r = targetsᵣ`. The fitted weights
+    /// are `solution.value(0..num_weights)`.
+    ///
+    /// Rows are sparse `(weight_index, coefficient)` lists; the problem
+    /// is always feasible and bounded, so
+    /// [`solve`](Self::solve) succeeds up to the iteration limit.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pmevo_lp::Problem;
+    ///
+    /// // Fit y ≈ w·x to (x, y) = (1, 2), (2, 4), (3, 7): LAD picks a
+    /// // weight with zero residual on two of the three points.
+    /// let p = Problem::least_absolute_deviations(
+    ///     2,
+    ///     &[vec![(0, 1.0)], vec![(0, 2.0)], vec![(0, 3.0)]],
+    ///     &[2.0, 4.0, 7.0],
+    /// );
+    /// let w = p.solve().unwrap().value(0);
+    /// assert!((w - 2.0).abs() < 1e-9 || (w - 7.0 / 3.0).abs() < 1e-9);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `targets` have different lengths. `num_weights`
+    /// must cover every index referenced by `rows` (checked by `solve`).
+    pub fn least_absolute_deviations(
+        num_weights: usize,
+        rows: &[Vec<(usize, f64)>],
+        targets: &[f64],
+    ) -> Self {
+        assert_eq!(rows.len(), targets.len(), "one target per regression row");
+        let m = rows.len();
+        let mut lp = Problem::minimize(num_weights + 2 * m);
+        for r in 0..m {
+            lp.set_objective_coeff(num_weights + 2 * r, 1.0);
+            lp.set_objective_coeff(num_weights + 2 * r + 1, 1.0);
+        }
+        for (r, (row, &target)) in rows.iter().zip(targets).enumerate() {
+            let mut terms = row.clone();
+            terms.push((num_weights + 2 * r, 1.0));
+            terms.push((num_weights + 2 * r + 1, -1.0));
+            lp.add_constraint(&terms, Relation::Eq, target);
+        }
+        lp
+    }
+
     /// Solves the problem with default [`SimplexOptions`].
     ///
     /// # Errors

@@ -20,12 +20,18 @@
 //! * [`Measurer`] — the measurement harness of paper §4.2: unrolled
 //!   50-instruction loop bodies, steady-state cycle counting, a
 //!   configurable noise model and median-of-repetitions reporting.
+//! * [`SimBackend`] — the harness behind the
+//!   [`pmevo_core::MeasurementBackend`] trait: measurement batches
+//!   chunked across worker threads, with thread-count-independent
+//!   results.
 
 pub mod platform;
 pub mod sim;
 
+mod backend;
 mod measure;
 
+pub use backend::SimBackend;
 pub use measure::{MeasureConfig, Measurer};
 pub use platform::{Platform, PlatformInfo};
 pub use sim::{simulate_kernel, SimResult};

@@ -6,11 +6,13 @@
 //!
 //! Defaults: ZEN, 400 experiments of size 5. The ground-truth oracle
 //! ("uops.info") and the deliberately coarse llvm-mca-style model bracket
-//! what a good and a stale port mapping look like.
+//! what a good and a stale port mapping look like. Measurement goes
+//! through the [`SimBackend`] measurement backend — swap it for a
+//! `ReplayBackend` to rerun the comparison from a recorded artifact.
 
 use pmevo::baselines::{mca_like, oracle, IthemalConfig, IthemalLike};
-use pmevo::core::{Experiment, InstId, ThroughputPredictor};
-use pmevo::machine::{platforms, MeasureConfig, Measurer};
+use pmevo::core::{Experiment, InstId, MeasurementBackend, ThroughputPredictor};
+use pmevo::machine::{platforms, MeasureConfig, SimBackend};
 use pmevo::stats::{AccuracySummary, Heatmap, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,8 +47,8 @@ fn main() {
         .collect();
 
     println!("measuring {n} experiments on {} ...", platform.name());
-    let measurer = Measurer::new(&platform, MeasureConfig::default());
-    let measured: Vec<f64> = experiments.iter().map(|e| measurer.measure(e)).collect();
+    let mut backend = SimBackend::new(platform.clone(), MeasureConfig::default());
+    let measured = backend.measure_batch(&experiments);
 
     println!("training the Ithemal-like baseline ...");
     let ithemal = IthemalLike::train(&platform, &IthemalConfig::default());

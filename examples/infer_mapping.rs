@@ -1,5 +1,6 @@
 //! Infer a port mapping for one of the paper's three (simulated)
-//! machines and report the Table-2-style statistics.
+//! machines through the [`Session`] API and report the Table-2-style
+//! statistics.
 //!
 //! Run with:
 //! `cargo run --release --example infer_mapping -- [SKL|ZEN|A72] [population]`
@@ -7,8 +8,8 @@
 //! Defaults: A72 (the platform the paper highlights as out of reach for
 //! counter-based tools), population 300.
 
-use pmevo::evo::{run, EvoConfig, PipelineConfig};
-use pmevo::machine::{platforms, MeasureConfig, Measurer};
+use pmevo::machine::platforms;
+use pmevo::Session;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -35,41 +36,21 @@ fn main() {
         platform.num_ports()
     );
 
-    let measurer = Measurer::new(&platform, MeasureConfig::default());
-    let config = PipelineConfig {
-        evo: EvoConfig {
-            population_size: population,
-            max_generations: 50,
-            seed: 0xA72,
-            ..EvoConfig::default()
-        },
-        ..PipelineConfig::default()
-    };
-    let result = run(
-        platform.isa().len(),
-        platform.num_ports(),
-        |exps| exps.iter().map(|e| measurer.measure(e)).collect(),
-        &config,
-    );
+    let report = Session::builder()
+        .platform(platform.clone())
+        .seed(0xA72)
+        .population(population)
+        .max_generations(50)
+        .accuracy_benchmarks(256)
+        .build()
+        .expect("the session configuration is valid")
+        .run();
 
-    println!("\nTable-2-style characteristics:");
-    println!("  benchmarking time      {:.1?}", result.benchmarking_time);
-    println!("  inference time         {:.1?}", result.inference_time);
-    println!(
-        "  insns found congruent  {:.0}%  ({} classes / {} forms)",
-        100.0 * result.congruent_fraction,
-        result.num_classes,
-        platform.isa().len()
-    );
-    println!("  number of µops         {}", result.num_distinct_uops());
-    println!(
-        "  training D_avg         {:.4} after {} generations",
-        result.evo.objectives.error, result.evo.generations
-    );
+    println!("\n{report}");
 
     // How well does the inferred mapping track the hidden ground truth
-    // on the experiments it was trained on? (The real quality metric —
-    // held-out benchmark accuracy — is what `table3`/`table4` measure.)
+    // on singleton experiments? (The session's accuracy block already
+    // reports held-out multiset benchmarks.)
     let gt = platform.ground_truth();
     let sample: Vec<_> = (0..platform.isa().len() as u32)
         .step_by(17)
@@ -79,7 +60,7 @@ fn main() {
     for e in sample.iter().take(8) {
         println!(
             "  {e}: inferred {:.2}, ground truth {:.2}",
-            result.mapping.throughput(e),
+            report.mapping.throughput(e),
             gt.throughput(e)
         );
     }

@@ -1,17 +1,17 @@
-//! Quickstart: infer a port mapping for a small toy machine and inspect
-//! the result.
+//! Quickstart: run an inference [`Session`] against a small toy machine
+//! and inspect the report.
 //!
 //! Run with: `cargo run --release --example quickstart`
 //!
 //! A six-instruction machine (add, mul, div, load, store, vadd) is built
 //! with an explicit ground-truth port mapping; PMEvo only ever observes
-//! measured throughputs, infers a mapping, and we compare its predictions
-//! against the hidden truth.
+//! measured throughputs, infers a mapping, and the session reports how
+//! well it tracks the hidden truth.
 
 use pmevo::core::{Experiment, InstId, PortSet, ThreeLevelMapping, UopEntry};
-use pmevo::evo::{run, EvoConfig, PipelineConfig};
 use pmevo::isa::synth::tiny_isa;
 use pmevo::machine::{MeasureConfig, Measurer, Platform, PlatformInfo};
+use pmevo::Session;
 
 fn toy_platform() -> Platform {
     let isa = tiny_isa();
@@ -51,35 +51,25 @@ fn toy_platform() -> Platform {
 
 fn main() {
     let platform = toy_platform();
-    let measurer = Measurer::new(&platform, MeasureConfig::exact());
 
     println!("Inferring a port mapping for the {} machine ...", platform.name());
-    let config = PipelineConfig {
-        evo: EvoConfig {
-            population_size: 150,
-            max_generations: 40,
-            seed: 1,
-            ..EvoConfig::default()
-        },
-        ..PipelineConfig::default()
-    };
-    let result = run(
-        platform.isa().len(),
-        platform.num_ports(),
-        |exps| exps.iter().map(|e| measurer.measure(e)).collect(),
-        &config,
-    );
+    let report = Session::builder()
+        .platform(platform.clone())
+        .measure_config(MeasureConfig::exact())
+        .seed(1)
+        .population(150)
+        .max_generations(40)
+        .accuracy_benchmarks(64)
+        .benchmark_size(3)
+        .build()
+        .expect("the session configuration is valid")
+        .run();
 
-    println!(
-        "done: {} experiments measured, {} congruence classes, D_avg = {:.4}\n",
-        result.num_experiments,
-        result.num_classes,
-        result.evo.objectives.error
-    );
+    println!("{report}\n");
 
     println!("inferred decompositions (ground truth is hidden from PMEvo):");
     for (id, form) in platform.isa().iter() {
-        let entries: Vec<String> = result
+        let entries: Vec<String> = report
             .mapping
             .decomposition(id)
             .iter()
@@ -89,14 +79,18 @@ fn main() {
     }
 
     println!("\npredicted vs measured on held-out experiments:");
+    let measurer = Measurer::new(&platform, MeasureConfig::exact());
     let held_out = [
         Experiment::from_counts(&[(InstId(0), 2), (InstId(1), 1)]),
         Experiment::from_counts(&[(InstId(2), 1), (InstId(3), 2)]),
         Experiment::from_counts(&[(InstId(4), 2), (InstId(5), 2), (InstId(0), 1)]),
     ];
     for e in &held_out {
-        let predicted = result.mapping.throughput(e);
+        let predicted = report.mapping.throughput(e);
         let measured = measurer.measure(e);
         println!("  {e}: predicted {predicted:.2}, measured {measured:.2}");
     }
+
+    println!("\nthe full report serializes to JSON:");
+    println!("{}", report.to_json_pretty());
 }

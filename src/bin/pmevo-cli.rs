@@ -3,8 +3,10 @@
 //! Subcommands:
 //!
 //! * `platforms` — list the built-in simulated machines;
-//! * `infer --platform SKL [--population 300] [--out mapping.json]` —
-//!   run the full inference pipeline and write the mapping as JSON;
+//! * `infer --platform SKL [--population 300] [--algorithm pmevo]
+//!   [--seed N] [--out mapping.json] [--report report.json]` — run an
+//!   inference session and write the mapping (and optionally the full
+//!   session report) as JSON;
 //! * `show --platform SKL --mapping mapping.json [--limit 20]` — render
 //!   a mapping in uops.info-style notation;
 //! * `predict --platform SKL --mapping mapping.json --experiment
@@ -13,9 +15,10 @@
 //!
 //! Exit code 2 on usage errors.
 
+use pmevo::baselines::{CountingAlgorithm, LpAlgorithm, RandomAlgorithm};
 use pmevo::core::{render, Experiment, InstId, ThreeLevelMapping};
-use pmevo::evo::{EvoConfig, PipelineConfig};
 use pmevo::machine::{platforms, MeasureConfig, Measurer, Platform};
+use pmevo::Session;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -23,7 +26,8 @@ fn usage() -> ExitCode {
         "usage: pmevo-cli <platforms|infer|show|predict> [flags]\n\
          \n\
          pmevo-cli platforms\n\
-         pmevo-cli infer   --platform SKL [--population 300] [--out mapping.json]\n\
+         pmevo-cli infer   --platform SKL [--population 300] [--algorithm pmevo]\n\
+                           [--seed N] [--out mapping.json] [--report report.json]\n\
          pmevo-cli show    --platform SKL --mapping mapping.json [--limit 20]\n\
          pmevo-cli predict --platform SKL --mapping mapping.json \\\n\
                            --experiment \"add_r64_r64:2,imul_r64_r64:1\""
@@ -140,38 +144,47 @@ fn cmd_infer(args: &[String]) -> ExitCode {
     let population = flag(args, "--population")
         .map(|v| v.parse().expect("--population expects a number"))
         .unwrap_or(300);
+    let seed = flag(args, "--seed")
+        .map(|v| v.parse().expect("--seed expects a number"))
+        .unwrap_or(0x90AD);
     let out = flag(args, "--out")
         .unwrap_or_else(|| format!("pmevo_{}.json", platform.name().to_lowercase()));
 
+    let algorithm = flag(args, "--algorithm").unwrap_or_else(|| "pmevo".into());
     eprintln!(
-        "inferring port mapping for {} (population {population}) ...",
+        "inferring port mapping for {} with {algorithm} (population {population}, seed {seed}) ...",
         platform.name()
     );
-    let measurer = Measurer::new(&platform, MeasureConfig::default());
-    let config = PipelineConfig {
-        evo: EvoConfig {
-            population_size: population,
-            ..EvoConfig::default()
-        },
-        ..PipelineConfig::default()
+    let builder = Session::builder()
+        .platform(platform)
+        .seed(seed)
+        .population(population);
+    let builder = match algorithm.as_str() {
+        "pmevo" => builder,
+        "counting" => builder.algorithm(CountingAlgorithm),
+        "random" => builder.algorithm(RandomAlgorithm::new(seed)),
+        "lp" => builder.algorithm(LpAlgorithm::default()),
+        other => {
+            eprintln!("unknown algorithm {other}; expected pmevo, counting, random or lp");
+            return ExitCode::from(2);
+        }
     };
-    let result = pmevo::evo::run(
-        platform.isa().len(),
-        platform.num_ports(),
-        |exps| exps.iter().map(|e| measurer.measure(e)).collect(),
-        &config,
-    );
-    eprintln!(
-        "benchmarked {} experiments in {:.1?}; inference took {:.1?}; \
-         D_avg = {:.4}; {} congruence classes; {} distinct µops",
-        result.num_experiments,
-        result.benchmarking_time,
-        result.inference_time,
-        result.evo.objectives.error,
-        result.num_classes,
-        result.num_distinct_uops()
-    );
-    let json = result.mapping.to_json_pretty();
+    let report = match builder.build() {
+        Ok(session) => session.run(),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("{report}");
+    if let Some(report_path) = flag(args, "--report") {
+        if let Err(e) = std::fs::write(&report_path, report.to_json_pretty()) {
+            eprintln!("cannot write {report_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("session report written to {report_path}");
+    }
+    let json = report.mapping.to_json_pretty();
     if let Err(e) = std::fs::write(&out, json) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;

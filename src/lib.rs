@@ -18,25 +18,36 @@
 //!
 //! # Quickstart
 //!
-//! Infer a port mapping for a simulated machine and check its accuracy:
+//! The [`Session`] API is the front door: pick a platform (or any
+//! [`core::MeasurementBackend`]), an algorithm (defaults to PMEvo), a
+//! seed — and run:
 //!
 //! ```
-//! use pmevo::evo::{run, PipelineConfig, EvoConfig};
-//! use pmevo::machine::{platforms, MeasureConfig, Measurer};
+//! use pmevo::machine::platforms;
+//! use pmevo::Session;
 //!
-//! // A small, fast configuration (see `examples/` for realistic ones).
+//! # fn main() -> Result<(), pmevo::SessionError> {
 //! let platform = platforms::a72();
-//! let measurer = Measurer::new(&platform, MeasureConfig::exact());
-//! let config = PipelineConfig {
-//!     evo: EvoConfig { population_size: 20, max_generations: 3, ..EvoConfig::default() },
-//!     ..PipelineConfig::default()
-//! };
-//! // Infer over the first 4 instruction forms only, to keep the doctest fast.
-//! let result = run(4, platform.num_ports(), |exps| {
-//!     exps.iter().map(|e| measurer.measure(e)).collect()
-//! }, &config);
-//! assert_eq!(result.mapping.num_insts(), 4);
+//! let report = Session::builder()
+//!     .universe(4, platform.num_ports()) // first 4 forms: doctest-sized
+//!     .platform(platform)
+//!     .seed(42)
+//!     .population(20)
+//!     .max_generations(3)
+//!     .accuracy_benchmarks(8)
+//!     .build()?
+//!     .run();
+//! assert_eq!(report.mapping.num_insts(), 4);
+//! println!("{report}");
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! [`Service::run_many`] executes many such sessions concurrently over
+//! one worker pool, with per-job seeds and (timings aside) bit-identical
+//! reports for every worker count.
+
+pub mod session;
 
 pub use pmevo_baselines as baselines;
 pub use pmevo_core as core;
@@ -45,3 +56,8 @@ pub use pmevo_isa as isa;
 pub use pmevo_lp as lp;
 pub use pmevo_machine as machine;
 pub use pmevo_stats as stats;
+
+pub use session::{
+    AccuracyReport, BoxedAlgorithm, BoxedBackend, ReportJsonError, Service, Session,
+    SessionBuilder, SessionError, SessionReport,
+};

@@ -1,13 +1,16 @@
 //! End-to-end integration test: PMEvo inference against the cycle-level
 //! simulator recovers a mapping that predicts *held-out* experiments —
-//! the core claim of the paper, at toy scale.
+//! the core claim of the paper, at toy scale, through the backend API.
 
-use pmevo::core::{Experiment, InstId, PortSet, ThreeLevelMapping, ThroughputPredictor, UopEntry};
+use pmevo::core::{
+    Experiment, InstId, MeasurementBackend, NoisyBackend, PortSet, ThreeLevelMapping,
+    ThroughputPredictor, UopEntry,
+};
 use pmevo::core::MappingPredictor;
 use pmevo::evo::{run, EvoConfig, PipelineConfig};
 use pmevo::isa::synth::tiny_isa;
 use pmevo::machine::platform::ExecParams;
-use pmevo::machine::{MeasureConfig, Measurer, Platform, PlatformInfo};
+use pmevo::machine::{MeasureConfig, Measurer, Platform, PlatformInfo, SimBackend};
 use pmevo::stats::mape;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -50,7 +53,7 @@ fn toy_platform() -> Platform {
 #[test]
 fn inferred_mapping_predicts_held_out_experiments() {
     let platform = toy_platform();
-    let measurer = Measurer::new(&platform, MeasureConfig::exact());
+    let mut backend = SimBackend::new(platform.clone(), MeasureConfig::exact());
 
     let config = PipelineConfig {
         evo: EvoConfig {
@@ -65,7 +68,7 @@ fn inferred_mapping_predicts_held_out_experiments() {
     let result = run(
         platform.isa().len(),
         platform.num_ports(),
-        |exps| exps.iter().map(|e| measurer.measure(e)).collect(),
+        &mut backend,
         &config,
     );
 
@@ -75,6 +78,8 @@ fn inferred_mapping_predicts_held_out_experiments() {
         "training D_avg too high: {}",
         result.evo.objectives.error
     );
+    // The backend performed exactly the pipeline's training experiments.
+    assert_eq!(result.measurements_performed, result.num_experiments as u64);
 
     // Held-out: random multisets of size 3 (never part of training,
     // which only uses singletons and pairs).
@@ -89,6 +94,7 @@ fn inferred_mapping_predicts_held_out_experiments() {
         .collect();
     let predictor = MappingPredictor::new("pmevo", result.mapping.clone());
     let predictions: Vec<f64> = held_out.iter().map(|e| predictor.predict(e)).collect();
+    let measurer = Measurer::new(&platform, MeasureConfig::exact());
     let measured: Vec<f64> = held_out.iter().map(|e| measurer.measure(e)).collect();
     let err = mape(&predictions, &measured);
     assert!(err < 25.0, "held-out MAPE {err:.1}% too high");
@@ -97,7 +103,7 @@ fn inferred_mapping_predicts_held_out_experiments() {
 #[test]
 fn inference_without_congruence_filtering_also_works() {
     let platform = toy_platform();
-    let measurer = Measurer::new(&platform, MeasureConfig::exact());
+    let mut backend = SimBackend::new(platform.clone(), MeasureConfig::exact());
     let config = PipelineConfig {
         congruence_filtering: false,
         evo: EvoConfig {
@@ -112,7 +118,7 @@ fn inference_without_congruence_filtering_also_works() {
     let result = run(
         platform.isa().len(),
         platform.num_ports(),
-        |exps| exps.iter().map(|e| measurer.measure(e)).collect(),
+        &mut backend,
         &config,
     );
     assert_eq!(result.num_classes, platform.isa().len());
@@ -126,13 +132,12 @@ fn inference_without_congruence_filtering_also_works() {
 #[test]
 fn noise_does_not_break_inference() {
     let platform = toy_platform();
-    let measurer = Measurer::new(
-        &platform,
-        MeasureConfig {
-            noise_sigma: 0.02,
-            repetitions: 5,
-            ..MeasureConfig::default()
-        },
+    // Seeded noise injection through the decorator, over an exact
+    // simulator — the robustness scenario of paper §5.1.
+    let mut backend = NoisyBackend::new(
+        SimBackend::new(platform.clone(), MeasureConfig::exact()),
+        0.02,
+        22,
     );
     let config = PipelineConfig {
         epsilon: 0.08, // wider than the noise level
@@ -148,12 +153,16 @@ fn noise_does_not_break_inference() {
     let result = run(
         platform.isa().len(),
         platform.num_ports(),
-        |exps| exps.iter().map(|e| measurer.measure(e)).collect(),
+        &mut backend,
         &config,
     );
     assert!(
         result.evo.objectives.error < 0.15,
         "noisy D_avg {}",
         result.evo.objectives.error
+    );
+    assert_eq!(
+        backend.stats().measurements_requested,
+        result.num_experiments as u64
     );
 }

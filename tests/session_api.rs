@@ -1,0 +1,342 @@
+//! Integration tests of the inference-session API: `SessionReport`
+//! JSON round-trips (property-based), `Service::run_many` determinism
+//! across worker-thread counts, backend swapping (replay), and builder
+//! validation.
+
+use pmevo::core::{
+    CachingBackend, InstId, MeasurementBackend, PortSet, ReplayBackend, ThreeLevelMapping,
+    UopEntry,
+};
+use pmevo::evo::{EvoConfig, PipelineConfig, PmEvoAlgorithm};
+use pmevo::isa::synth::tiny_isa;
+use pmevo::machine::platform::ExecParams;
+use pmevo::machine::{MeasureConfig, Platform, PlatformInfo, SimBackend};
+use pmevo::{AccuracyReport, Service, Session, SessionError, SessionReport};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn toy_platform() -> Platform {
+    let isa = tiny_isa();
+    let u = |count, ports: &[usize]| UopEntry::new(count, PortSet::from_ports(ports));
+    let decomp = vec![
+        vec![u(1, &[0, 1])],
+        vec![u(1, &[0])],
+        vec![u(3, &[0])],
+        vec![u(1, &[2])],
+        vec![u(1, &[3]), u(1, &[2])],
+        vec![u(1, &[1])],
+    ];
+    let exec = (0..isa.len())
+        .map(|_| ExecParams {
+            latency: 2,
+            blocking: 1,
+        })
+        .collect();
+    Platform::new(
+        "TOY",
+        PlatformInfo {
+            manufacturer: "test".into(),
+            processor: "toy".into(),
+            microarch: "toy".into(),
+            ports_desc: "4".into(),
+            isa_name: "tiny".into(),
+            clock_ghz: 1.0,
+        },
+        isa,
+        ThreeLevelMapping::new(4, decomp),
+        exec,
+        4,
+        32,
+    )
+}
+
+fn toy_session(seed: u64) -> Session {
+    Session::builder()
+        .platform(toy_platform())
+        .measure_config(MeasureConfig::exact())
+        .seed(seed)
+        .population(60)
+        .max_generations(8)
+        .accuracy_benchmarks(24)
+        .benchmark_size(3)
+        .build()
+        .expect("toy session configuration is valid")
+}
+
+// --- SessionReport JSON round-trip (property-based) -----------------
+
+fn label_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("plain".to_string()),
+        Just("with \"quotes\" and \\ backslash".to_string()),
+        Just("newline\nand\ttab".to_string()),
+        Just("unicode µops × ports".to_string()),
+    ]
+}
+
+/// Finite floats covering the writer's two paths (integral values are
+/// emitted as `x.0`, the rest through the shortest round-trip format).
+fn float_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e12..1.0e12f64,
+        -1.0..1.0f64,
+        (0u64..1000).prop_map(|n| n as f64),
+        Just(0.0),
+        Just(-0.0),
+        Just(1.5e-300),
+    ]
+}
+
+fn mapping_strategy() -> impl Strategy<Value = ThreeLevelMapping> {
+    collection::vec(
+        collection::vec((1u32..4, 1u64..15), 1..3),
+        1..5,
+    )
+    .prop_map(|rows| {
+        let decomp = rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|(count, mask)| UopEntry::new(count, PortSet::from_mask(mask)))
+                    .collect()
+            })
+            .collect();
+        ThreeLevelMapping::new(4, decomp)
+    })
+}
+
+fn accuracy_strategy() -> impl Strategy<Value = Option<AccuracyReport>> {
+    prop_oneof![
+        Just(None),
+        (float_strategy(), float_strategy(), float_strategy(), 1usize..100_000).prop_map(
+            |(mape, pearson, spearman, num_benchmarks)| {
+                Some(AccuracyReport {
+                    mape,
+                    pearson,
+                    spearman,
+                    num_benchmarks,
+                })
+            }
+        ),
+    ]
+}
+
+fn report_strategy() -> impl Strategy<Value = SessionReport> {
+    let head = (
+        label_strategy(),
+        prop_oneof![Just(None), label_strategy().prop_map(Some)],
+        label_strategy(),
+        label_strategy(),
+        0u64..u64::MAX,
+    );
+    let counts = (1usize..1000, 1usize..64, 0usize..100_000, 0u64..1_000_000);
+    let times = (0u64..u64::MAX, 0u64..u64::MAX);
+    let metrics = (
+        float_strategy(),
+        1usize..1000,
+        prop_oneof![Just(None), float_strategy().prop_map(Some)],
+        accuracy_strategy(),
+        mapping_strategy(),
+    );
+    (head, counts, times, metrics).prop_map(
+        |(
+            (label, platform, backend, algorithm, seed),
+            (num_insts, num_ports, num_experiments, measurements_performed),
+            (bench_ns, infer_ns),
+            (congruent_fraction, num_classes, training_error, accuracy, mapping),
+        )| SessionReport {
+            label,
+            platform,
+            backend,
+            algorithm,
+            seed,
+            num_insts,
+            num_ports,
+            num_experiments,
+            measurements_performed,
+            benchmarking_time: Duration::from_nanos(bench_ns),
+            inference_time: Duration::from_nanos(infer_ns),
+            congruent_fraction,
+            num_classes,
+            training_error,
+            accuracy,
+            mapping,
+        },
+    )
+}
+
+proptest! {
+    // Case budget: capped so the whole workspace suite stays well under
+    // a minute; override with PROPTEST_CASES=<n>.
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// encode → decode → bit-identical, for both the compact and the
+    /// pretty writer.
+    #[test]
+    fn session_report_roundtrips_through_json(report in report_strategy()) {
+        let compact = SessionReport::from_json(&report.to_json())
+            .expect("compact report JSON parses");
+        prop_assert_eq!(&compact, &report);
+        let pretty = SessionReport::from_json(&report.to_json_pretty())
+            .expect("pretty report JSON parses");
+        prop_assert_eq!(&pretty, &report);
+    }
+}
+
+#[test]
+fn session_report_rejects_malformed_json() {
+    for bad in [
+        "",
+        "{}",
+        "[1,2]",
+        r#"{"label":"x"}"#,
+        // Valid except the mapping shape.
+        r#"{"label":"x","platform":null,"backend":"b","algorithm":"a","seed":1,
+            "num_insts":1,"num_ports":1,"num_experiments":0,"measurements_performed":0,
+            "benchmarking_time_ns":0,"inference_time_ns":0,"congruent_fraction":0.0,
+            "num_classes":1,"training_error":null,"accuracy":null,"mapping":{"decomp":[]}}"#,
+    ] {
+        assert!(SessionReport::from_json(bad).is_err(), "{bad:?} should not parse");
+    }
+}
+
+// --- Service::run_many determinism ----------------------------------
+
+/// The acceptance criterion of the session API: with fixed per-job
+/// seeds, `run_many` produces bit-identical reports (up to wall-clock
+/// timings) for every worker-thread count.
+#[test]
+fn run_many_is_worker_count_independent() {
+    let seeds = [11u64, 12, 13];
+    let reference: Vec<String> = Service::new(1)
+        .run_many(seeds.iter().map(|&s| toy_session(s)).collect())
+        .iter()
+        .map(|r| r.without_timings().to_json())
+        .collect();
+    // Different seeds genuinely produce different sessions.
+    assert_ne!(reference[0], reference[1]);
+    for workers in [2, 8] {
+        let got: Vec<String> = Service::new(workers)
+            .run_many(seeds.iter().map(|&s| toy_session(s)).collect())
+            .iter()
+            .map(|r| r.without_timings().to_json())
+            .collect();
+        assert_eq!(got, reference, "{workers} workers changed the reports");
+    }
+}
+
+#[test]
+fn run_many_preserves_job_order_and_labels() {
+    let jobs: Vec<Session> = (0..5)
+        .map(|i| {
+            Session::builder()
+                .platform(toy_platform())
+                .measure_config(MeasureConfig::exact())
+                .label(format!("job-{i}"))
+                .seed(i as u64)
+                .population(30)
+                .max_generations(2)
+                .accuracy_benchmarks(0)
+                .build()
+                .expect("valid session")
+        })
+        .collect();
+    let reports = Service::new(3).run_many(jobs);
+    let labels: Vec<&str> = reports.iter().map(|r| r.label.as_str()).collect();
+    assert_eq!(labels, ["job-0", "job-1", "job-2", "job-3", "job-4"]);
+    assert!(Service::new(4).run_many(Vec::new()).is_empty());
+}
+
+// --- Backend swapping through the session ----------------------------
+
+/// Record all measurements of a pipeline run with a `CachingBackend`,
+/// replay them through a `ReplayBackend`-backed session, and require
+/// the identical mapping — measurement artifacts decouple inference
+/// from the machine.
+#[test]
+fn replayed_session_reproduces_the_simulator_session() {
+    let platform = toy_platform();
+    let config = PipelineConfig {
+        evo: EvoConfig {
+            population_size: 60,
+            max_generations: 6,
+            num_threads: 2,
+            seed: 33,
+            ..EvoConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+
+    // Live run against the simulator, recording every measurement.
+    let mut recording =
+        CachingBackend::new(SimBackend::new(platform.clone(), MeasureConfig::exact()));
+    let live = pmevo::evo::run(
+        platform.isa().len(),
+        platform.num_ports(),
+        &mut recording,
+        &config,
+    );
+    let artifact = pmevo::core::measurements_to_json(&recording.measurements());
+
+    // Replayed run: same algorithm, no simulator access at all.
+    let replay = ReplayBackend::from_json(&artifact).expect("artifact parses");
+    let report = Session::builder()
+        .universe(platform.isa().len(), platform.num_ports())
+        .backend(replay)
+        .algorithm(PmEvoAlgorithm::new(config))
+        .seed(33)
+        .build()
+        .expect("replay session configuration is valid")
+        .run();
+
+    assert_eq!(report.mapping, live.mapping);
+    assert_eq!(report.num_experiments, live.num_experiments);
+    assert!(report.platform.is_none());
+    assert!(report.accuracy.is_none(), "no platform, no ground-truth accuracy");
+    assert!(report.backend.contains("replay"));
+}
+
+/// The caching decorator keeps `measurements_performed` honest: the
+/// singleton experiments the accuracy-free toy session re-requests are
+/// measured once.
+#[test]
+fn session_counts_deduplicated_measurements_once() {
+    let report = toy_session(5).run();
+    assert!(report.measurements_performed <= report.num_experiments as u64);
+    assert!(report.measurements_performed > 0);
+    assert!(report.backend.starts_with("cached("));
+}
+
+// --- Builder validation ----------------------------------------------
+
+#[test]
+fn builder_reports_configuration_errors() {
+    assert_eq!(
+        Session::builder().build().err(),
+        Some(SessionError::MissingUniverse)
+    );
+    assert_eq!(
+        Session::builder().universe(4, 2).build().err(),
+        Some(SessionError::MissingBackend)
+    );
+    assert_eq!(
+        Session::builder()
+            .universe(0, 2)
+            .backend(ReplayBackend::default())
+            .build()
+            .err(),
+        Some(SessionError::EmptyUniverse)
+    );
+    // A backend-only session (no platform) is valid.
+    let mut model = pmevo::core::ModelBackend::new(ThreeLevelMapping::new(
+        2,
+        vec![vec![UopEntry::new(1, PortSet::from_ports(&[0]))]],
+    ));
+    let _ = model.measure_batch(&[pmevo::core::Experiment::singleton(InstId(0))]);
+    assert!(Session::builder()
+        .universe(1, 2)
+        .backend(model)
+        .build()
+        .is_ok());
+}

@@ -252,7 +252,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Size argument of [`vec`]: a fixed length or a (half-open or
+    /// Size argument of [`vec()`]: a fixed length or a (half-open or
     /// inclusive) range of lengths.
     #[derive(Clone, Debug)]
     pub struct SizeRange {

@@ -7,7 +7,7 @@
 //!   `gen_bool`,
 //! * [`rngs::StdRng`] — here a xoshiro256++ generator seeded via
 //!   SplitMix64, deterministic for a given `seed_from_u64` input,
-//! * the [`Standard`](distributions::Standard) distribution for
+//! * the [`distributions::Standard`] distribution for
 //!   `bool`/`u32`/`u64`/`f64`.
 //!
 //! Determinism is the property the workspace actually relies on (every
