@@ -63,6 +63,13 @@ fn bookkeeping(
     infer_start: Instant,
 ) -> InferredMapping {
     let error = training_error(&mapping, experiments);
+    // Baselines measure their whole corpus up front: one round.
+    let rounds = vec![pmevo_core::RoundStats::from_delta(
+        0,
+        &stats_delta,
+        stats_delta.measurements_performed,
+        error,
+    )];
     InferredMapping {
         algorithm: algorithm.name().to_owned(),
         num_experiments: experiments.len(),
@@ -72,6 +79,8 @@ fn bookkeeping(
         congruent_fraction: 0.0,
         num_classes: mapping.num_insts(),
         training_error: Some(error),
+        rounds,
+        round_mappings: vec![mapping.clone()],
         mapping,
     }
 }

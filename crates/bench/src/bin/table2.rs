@@ -6,16 +6,23 @@
 //! session reports.
 //!
 //! Usage: `cargo run --release -p pmevo-bench --bin table2
-//!         [--platform SKL|ZEN|A72] [--algorithm pmevo|counting|random|lp]
-//!         [--scale 1] [--seed 2] [--jobs 1]`
+//!         [--platform SKL|ZEN|A72|TINY] [--algorithm pmevo|counting|random|lp]
+//!         [--selection one-shot|disagreement|uniform] [--top-k 16]
+//!         [--budget N] [--scale 1] [--seed 2] [--jobs 1]`
 //!
 //! The paper ran with population 100 000 over hours of machine time;
 //! `--scale N` multiplies the default population of 300 (use `--scale 10`
 //! with `--full`-style patience for higher fidelity). `--jobs N` runs
 //! the per-platform sessions concurrently over a shared worker pool.
+//! A round-based `--selection` (with `--budget`) runs PMEvo's adaptive
+//! experiment scheduler; its artifacts are keyed by the policy slug so
+//! they never collide with the one-shot cache.
 
 use pmevo::{Service, Session};
-use pmevo_bench::{artifact_dir, save_mapping, selected_algorithm, selected_platforms, Args};
+use pmevo_bench::{
+    artifact_dir, mapping_artifact_path, save_mapping, selected_algorithm, selected_budget,
+    selected_platforms, selected_selection, Args,
+};
 use pmevo_stats::Table;
 
 fn main() {
@@ -23,6 +30,8 @@ fn main() {
     let scale = args.get_usize("scale", 1);
     let seed = args.seed(2);
     let jobs = args.get_usize("jobs", 1);
+    let selection = selected_selection(&args);
+    let budget = selected_budget(&args);
     let platforms = selected_platforms(&args);
 
     println!(
@@ -42,24 +51,29 @@ fn main() {
         .iter()
         .map(|platform| {
             eprintln!("[table2] queueing inference for {} ...", platform.name());
-            pmevo_bench::inference_session(platform, selected_algorithm(&args, scale, seed), seed)
+            pmevo_bench::inference_session(
+                platform,
+                selected_algorithm(&args, scale, seed),
+                seed,
+                selection,
+                budget,
+            )
         })
         .collect();
     let reports = Service::new(jobs.max(1)).run_many(sessions);
 
     for (platform, report) in platforms.iter().zip(reports) {
-        // Artifacts are keyed by algorithm so a baseline run can never
-        // masquerade as the PMEvo mapping that `pmevo_mapping_cached`
-        // (and thus table3/table4/fig7) picks up.
-        let path = artifact_dir().join(format!(
-            "{}_{}_x{scale}.json",
-            report.algorithm.to_lowercase(),
-            platform.name().to_lowercase()
-        ));
+        // Artifacts are keyed by algorithm *and* selection policy so a
+        // baseline run can never masquerade as the PMEvo mapping that
+        // `pmevo_mapping_cached` (and thus table3/table4/fig7) picks up,
+        // and a budget-capped adaptive run can never poison the
+        // one-shot cache — even when `--jobs` writes them concurrently.
+        let path = mapping_artifact_path(&report.algorithm, selection, platform, scale);
         save_mapping(&path, &report.mapping);
         let report_path = artifact_dir().join(format!(
-            "session_{}_{}_x{scale}.json",
+            "session_{}_{}_{}_x{scale}.json",
             report.algorithm.to_lowercase(),
+            selection.slug(),
             platform.name().to_lowercase()
         ));
         std::fs::write(&report_path, report.to_json_pretty()).expect("write session report");

@@ -17,7 +17,7 @@ use pmevo::Session;
 use pmevo_baselines::{CountingAlgorithm, LpAlgorithm, RandomAlgorithm};
 use pmevo_core::{
     Experiment, InferenceAlgorithm, InstId, MeasuredExperiment, MeasurementBackend,
-    ThreeLevelMapping, ThroughputPredictor,
+    MeasurementBudget, SelectionPolicy, ThreeLevelMapping, ThroughputPredictor,
 };
 use pmevo_evo::{EvoConfig, PipelineConfig, PmEvoAlgorithm};
 use pmevo_machine::{MeasureConfig, Platform, SimBackend};
@@ -107,36 +107,60 @@ pub fn default_pipeline_config(scale: usize, seed: u64) -> PipelineConfig {
             seed,
             ..EvoConfig::default()
         },
+        ..PipelineConfig::default()
     }
 }
 
 /// Builds the inference session the reproduction binaries run: the
 /// selected algorithm over the platform's simulator backend.
+/// `selection` and `budget` are recorded in the report (the explicit
+/// algorithm must be configured to match — see [`selected_algorithm`]).
 pub fn inference_session(
     platform: &Platform,
     algorithm: impl InferenceAlgorithm + Send + 'static,
     seed: u64,
+    selection: SelectionPolicy,
+    budget: MeasurementBudget,
 ) -> Session {
     Session::builder()
         .platform(platform.clone())
         .algorithm(algorithm)
         .seed(seed)
+        .selection(selection)
+        .budget(budget)
         .build()
         .expect("a platform-backed session configuration is always valid")
 }
 
+/// The artifact path of an inferred mapping, keyed by algorithm,
+/// selection policy, platform and scale — so a baseline run can never
+/// masquerade as the PMEvo mapping, and an adaptive (budget-capped) run
+/// can never poison the one-shot cache that `table3`/`table4`/`fig7`
+/// consume.
+pub fn mapping_artifact_path(
+    algorithm: &str,
+    selection: SelectionPolicy,
+    platform: &Platform,
+    scale: usize,
+) -> PathBuf {
+    artifact_dir().join(format!(
+        "{}_{}_{}_x{scale}.json",
+        algorithm.to_lowercase(),
+        selection.slug(),
+        platform.name().to_lowercase()
+    ))
+}
+
 /// Infers a PMEvo mapping for `platform`, caching the result as JSON in
-/// the artifact directory (keyed by platform name and scale).
+/// the artifact directory (keyed by algorithm, the one-shot selection
+/// policy, platform name and scale).
 ///
 /// # Panics
 ///
 /// Panics on I/O or serialization failures, or if inference produces an
 /// inconsistent mapping.
 pub fn pmevo_mapping_cached(platform: &Platform, scale: usize, seed: u64) -> ThreeLevelMapping {
-    let path = artifact_dir().join(format!(
-        "pmevo_{}_x{scale}.json",
-        platform.name().to_lowercase()
-    ));
+    let path = mapping_artifact_path("pmevo", SelectionPolicy::OneShot, platform, scale);
     if let Some(m) = load_mapping(&path, platform) {
         return m;
     }
@@ -145,7 +169,14 @@ pub fn pmevo_mapping_cached(platform: &Platform, scale: usize, seed: u64) -> Thr
         path.display()
     );
     let algorithm = PmEvoAlgorithm::new(default_pipeline_config(scale, seed));
-    let report = inference_session(platform, algorithm, seed).run();
+    let report = inference_session(
+        platform,
+        algorithm,
+        seed,
+        SelectionPolicy::OneShot,
+        MeasurementBudget::UNLIMITED,
+    )
+    .run();
     save_mapping(&path, &report.mapping);
     report.mapping
 }
@@ -257,7 +288,7 @@ impl Args {
 }
 
 /// Resolves the platforms selected by the shared `--platform NAME` flag
-/// (default: all).
+/// (default: the three paper platforms; `TINY` is opt-in).
 ///
 /// # Panics
 ///
@@ -270,14 +301,46 @@ pub fn selected_platforms(args: &Args) -> Vec<Platform> {
             "SKL" => vec![platforms::skl()],
             "ZEN" => vec![platforms::zen()],
             "A72" => vec![platforms::a72()],
-            other => panic!("unknown platform {other}; expected SKL, ZEN or A72"),
+            "TINY" => vec![platforms::tiny()],
+            other => panic!("unknown platform {other}; expected SKL, ZEN, A72 or TINY"),
         },
+    }
+}
+
+/// Resolves the shared experiment-selection flags: `--selection
+/// one-shot|disagreement|uniform` (default `one-shot`) with `--top-k N`
+/// (default 16, clamped to at least 1) for the round-based policies.
+///
+/// # Panics
+///
+/// Panics on an unknown policy name or a non-numeric `--top-k`.
+pub fn selected_selection(args: &Args) -> SelectionPolicy {
+    let top_k = args.get_usize("top-k", 16).max(1);
+    match args.get_str("selection").unwrap_or("one-shot") {
+        "one-shot" => SelectionPolicy::OneShot,
+        "disagreement" => SelectionPolicy::Disagreement { top_k },
+        "uniform" => SelectionPolicy::Uniform { top_k },
+        other => panic!("unknown selection policy {other}; expected one-shot, disagreement or uniform"),
+    }
+}
+
+/// Resolves the shared `--budget N` flag (maximum real measurements)
+/// into a [`MeasurementBudget`]; absent or 0 means unlimited.
+///
+/// # Panics
+///
+/// Panics if the value does not parse.
+pub fn selected_budget(args: &Args) -> MeasurementBudget {
+    match args.get_u64("budget", 0) {
+        0 => MeasurementBudget::UNLIMITED,
+        n => MeasurementBudget::measurements(n),
     }
 }
 
 /// Resolves the shared `--algorithm NAME` flag into an
 /// [`InferenceAlgorithm`] (default: `pmevo`). `scale` and `seed` only
-/// affect the algorithms that use them.
+/// affect the algorithms that use them; the shared
+/// `--selection`/`--budget`/`--top-k` flags only affect PMEvo.
 ///
 /// # Panics
 ///
@@ -288,7 +351,12 @@ pub fn selected_algorithm(
     seed: u64,
 ) -> Box<dyn InferenceAlgorithm + Send> {
     match args.get_str("algorithm").unwrap_or("pmevo") {
-        "pmevo" => Box::new(PmEvoAlgorithm::new(default_pipeline_config(scale, seed))),
+        "pmevo" => {
+            let mut config = default_pipeline_config(scale, seed);
+            config.selection = selected_selection(args);
+            config.budget = selected_budget(args);
+            Box::new(PmEvoAlgorithm::new(config))
+        }
         "counting" => Box::new(CountingAlgorithm),
         "random" => Box::new(RandomAlgorithm::new(seed)),
         "lp" => Box::new(LpAlgorithm::default()),

@@ -10,6 +10,7 @@
 //! (benchmarking/inference time, measurement counts, congruence stats).
 
 use crate::backend::MeasurementBackend;
+use crate::selection::RoundStats;
 use crate::ThreeLevelMapping;
 use std::time::Duration;
 
@@ -91,6 +92,15 @@ pub struct InferredMapping {
     /// Average relative error `D_avg` of the mapping on the algorithm's
     /// training experiments, when the algorithm evaluates it.
     pub training_error: Option<f64>,
+    /// Per-round measurement accounting when the algorithm ran a
+    /// round-based experiment-selection loop (see
+    /// [`crate::SelectionPolicy`]); a single round for one-shot
+    /// algorithms that track it, empty otherwise.
+    pub rounds: Vec<RoundStats>,
+    /// The best full-universe mapping at the end of each round, parallel
+    /// to [`rounds`](Self::rounds) — what accuracy trajectories are
+    /// computed from. May be empty for algorithms that do not track it.
+    pub round_mappings: Vec<ThreeLevelMapping>,
 }
 
 impl InferredMapping {

@@ -48,6 +48,7 @@ mod mapping;
 mod ports;
 mod predict;
 pub mod render;
+pub mod selection;
 
 pub use backend::{
     measurements_from_json, measurements_to_json, measurements_to_json_pretty, BackendStats,
@@ -60,6 +61,7 @@ pub use infer::{InferenceAlgorithm, InferredMapping};
 pub use mapping::{MappingJsonError, ThreeLevelMapping, TwoLevelMapping, UopEntry};
 pub use ports::{PortId, PortSet, PortSetIter, MAX_PORTS};
 pub use predict::{prediction_agreement, MappingPredictor, ThroughputPredictor};
+pub use selection::{MeasurementBudget, RoundStats, SelectionPolicy};
 
 /// The bottleneck simulation algorithm and its LP reference implementation.
 pub mod bottleneck {

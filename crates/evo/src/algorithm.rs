@@ -47,6 +47,20 @@ impl PmEvoAlgorithm {
         config.evo.seed = seed;
         PmEvoAlgorithm { config }
     }
+
+    /// [`with_seed`](Self::with_seed) plus an experiment-selection
+    /// policy and measurement budget — what a session runs when
+    /// `.selection(..)` / `.budget(..)` are configured.
+    pub fn with_selection(
+        seed: u64,
+        selection: pmevo_core::SelectionPolicy,
+        budget: pmevo_core::MeasurementBudget,
+    ) -> Self {
+        let mut algorithm = Self::with_seed(seed);
+        algorithm.config.selection = selection;
+        algorithm.config.budget = budget;
+        algorithm
+    }
 }
 
 impl InferenceAlgorithm for PmEvoAlgorithm {
@@ -71,6 +85,8 @@ impl InferenceAlgorithm for PmEvoAlgorithm {
             congruent_fraction: result.congruent_fraction,
             num_classes: result.num_classes,
             training_error: Some(result.evo.objectives.error),
+            rounds: result.rounds,
+            round_mappings: result.round_mappings,
         }
     }
 

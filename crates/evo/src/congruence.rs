@@ -19,14 +19,17 @@ use pmevo_core::{InstId, MeasuredExperiment};
 use std::collections::BTreeMap;
 
 /// Checks throughput equality up to the paper's symmetric relative
-/// difference bound `ε`.
-fn close(t1: f64, t2: f64, epsilon: f64) -> bool {
+/// difference bound `ε` — exposed for the adaptive pipeline's
+/// pairwise-verified congruence seeding.
+pub fn throughput_close(t1: f64, t2: f64, epsilon: f64) -> bool {
     let denom = (t1 + t2).abs() / 2.0;
     if denom == 0.0 {
         return true;
     }
     (t1 - t2).abs() / denom < epsilon
 }
+
+use throughput_close as close;
 
 /// A partition of the instruction universe into congruence classes.
 ///
@@ -152,6 +155,44 @@ impl CongruencePartition {
         CongruencePartition {
             repr: universe.iter().map(|&i| (i, i)).collect(),
             reps: universe.to_vec(),
+            universe: universe.to_vec(),
+        }
+    }
+
+    /// Builds a partition from an explicit representative map — the
+    /// constructor behind the adaptive pipeline's pairwise-verified
+    /// congruence seeding, where merges are decided by targeted
+    /// measurements instead of the full §4.1 corpus. Ids missing from
+    /// `repr` represent themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a representative is not in `universe` or is itself
+    /// mapped to another form (chains are not resolved).
+    pub fn from_representatives(universe: &[InstId], repr: BTreeMap<InstId, InstId>) -> Self {
+        let mut full: BTreeMap<InstId, InstId> = BTreeMap::new();
+        for &id in universe {
+            let r = repr.get(&id).copied().unwrap_or(id);
+            assert!(
+                repr.get(&r).copied().unwrap_or(r) == r,
+                "representative {r} of {id} is itself merged away"
+            );
+            full.insert(id, r);
+        }
+        let mut reps: Vec<InstId> = Vec::new();
+        for &id in universe {
+            let r = full[&id];
+            assert!(
+                universe.contains(&r),
+                "representative {r} of {id} is outside the universe"
+            );
+            if !reps.contains(&r) {
+                reps.push(r);
+            }
+        }
+        CongruencePartition {
+            repr: full,
+            reps,
             universe: universe.to_vec(),
         }
     }

@@ -227,6 +227,46 @@ pub fn evolve(
     indiv_tp: &[f64],
     config: &EvoConfig,
 ) -> EvoResult {
+    evolve_resumable(num_insts, num_ports, experiments, indiv_tp, config, Vec::new(), true).result
+}
+
+/// Outcome of one [`evolve_resumable`] segment: the usual [`EvoResult`]
+/// plus the final population, for warm-starting the next segment of a
+/// round-based run (see [`crate::selection`]).
+#[derive(Debug, Clone)]
+pub struct ResumableEvolution {
+    /// The segment's result (fittest individual, history, generations).
+    pub result: EvoResult,
+    /// The final population, ordered by scalarized fitness of the last
+    /// selection (initial order if no generation ran).
+    pub population: Vec<ThreeLevelMapping>,
+    /// Objectives parallel to [`population`](Self::population).
+    pub objectives: Vec<Objectives>,
+}
+
+/// [`evolve`], but resumable: evolution starts from `initial` (topped up
+/// with random samples to the configured population size, truncated if
+/// larger), the final greedy local search can be skipped for
+/// intermediate rounds, and the final population is returned so a later
+/// segment — typically over a grown experiment set — can continue where
+/// this one stopped.
+///
+/// With an empty `initial` and `local_search = true` this is exactly
+/// [`evolve`], bit for bit.
+///
+/// # Panics
+///
+/// Panics if inputs are empty or inconsistent, or an `initial`
+/// individual does not match `num_insts`/`num_ports`.
+pub fn evolve_resumable(
+    num_insts: usize,
+    num_ports: usize,
+    experiments: &[MeasuredExperiment],
+    indiv_tp: &[f64],
+    config: &EvoConfig,
+    initial: Vec<ThreeLevelMapping>,
+    local_search: bool,
+) -> ResumableEvolution {
     assert!(num_insts > 0, "empty instruction universe");
     assert_eq!(indiv_tp.len(), num_insts, "throughput table size mismatch");
     assert!(config.population_size >= 2, "population too small");
@@ -236,9 +276,17 @@ pub fn evolve(
     let mut engine = FitnessEngine::new(experiments, config.num_threads);
 
     let p = config.population_size;
-    let population: Vec<ThreeLevelMapping> = (0..p)
-        .map(|_| ThreeLevelMapping::sample_random(&mut rng, num_insts, num_ports, indiv_tp))
-        .collect();
+    let mut population = initial;
+    population.truncate(p);
+    for m in &population {
+        assert_eq!(m.num_insts(), num_insts, "initial individual universe mismatch");
+        assert_eq!(m.num_ports(), num_ports, "initial individual port-count mismatch");
+    }
+    while population.len() < p {
+        population.push(ThreeLevelMapping::sample_random(
+            &mut rng, num_insts, num_ports, indiv_tp,
+        ));
+    }
     let (mut population, mut objectives) = engine.evaluate_batch_owned(population);
 
     let mut history = Vec::new();
@@ -308,14 +356,22 @@ pub fn evolve(
                 .expect("objectives are finite")
         })
         .expect("population is non-empty");
-    let mut best = population.swap_remove(best_idx);
-    let objectives = hill_climb(&mut best, &mut engine, config.local_search_passes);
+    let mut best = population[best_idx].clone();
+    let best_objectives = if local_search {
+        hill_climb(&mut best, &mut engine, config.local_search_passes)
+    } else {
+        objectives[best_idx]
+    };
 
-    EvoResult {
-        mapping: best,
+    ResumableEvolution {
+        result: EvoResult {
+            mapping: best,
+            objectives: best_objectives,
+            generations,
+            history,
+        },
+        population,
         objectives,
-        generations,
-        history,
     }
 }
 
@@ -454,6 +510,65 @@ mod tests {
             changed |= m2 != gt;
         }
         assert!(changed);
+    }
+
+    #[test]
+    fn resumable_with_defaults_is_exactly_evolve() {
+        let (_gt, measured, indiv) = toy_problem();
+        let config = EvoConfig {
+            population_size: 24,
+            max_generations: 10,
+            num_threads: 2,
+            seed: 21,
+            ..EvoConfig::default()
+        };
+        let plain = evolve(3, 3, &measured, &indiv, &config);
+        let resumable = evolve_resumable(3, 3, &measured, &indiv, &config, Vec::new(), true);
+        assert_eq!(plain.mapping, resumable.result.mapping);
+        assert_eq!(plain.objectives, resumable.result.objectives);
+        assert_eq!(plain.history, resumable.result.history);
+        assert_eq!(resumable.population.len(), 24);
+        assert_eq!(resumable.objectives.len(), 24);
+    }
+
+    #[test]
+    fn warm_start_resumes_and_stays_deterministic() {
+        let (_gt, measured, indiv) = toy_problem();
+        let config = EvoConfig {
+            population_size: 20,
+            max_generations: 4,
+            num_threads: 1,
+            seed: 13,
+            ..EvoConfig::default()
+        };
+        let first = evolve_resumable(3, 3, &measured, &indiv, &config, Vec::new(), false);
+        let resume = |pop: Vec<ThreeLevelMapping>| {
+            evolve_resumable(3, 3, &measured, &indiv, &config, pop, false)
+        };
+        let a = resume(first.population.clone());
+        let b = resume(first.population.clone());
+        assert_eq!(a.result.mapping, b.result.mapping);
+        assert_eq!(a.population, b.population);
+        // Continuing the search never loses the warm start's best error.
+        assert!(a.result.objectives.error <= first.result.objectives.error + 1e-12);
+        // A short initial population is topped up to size.
+        let short = resume(first.population[..3].to_vec());
+        assert_eq!(short.population.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn warm_start_rejects_mismatched_individuals() {
+        let (_gt, measured, indiv) = toy_problem();
+        let config = EvoConfig {
+            population_size: 4,
+            max_generations: 1,
+            num_threads: 1,
+            seed: 1,
+            ..EvoConfig::default()
+        };
+        let wrong = vec![ThreeLevelMapping::new(3, vec![vec![uop(1, &[0])]])];
+        evolve_resumable(3, 3, &measured, &indiv, &config, wrong, false);
     }
 
     #[test]

@@ -60,38 +60,59 @@ impl ExperimentGenerator {
     /// throughputs (indexed like [`insts`](Self::insts)).
     ///
     /// Duplicate experiments (a ratio pair with `n = 1` coincides with
-    /// the plain pair) are emitted once.
+    /// the plain pair) are emitted once. Equivalent to collecting
+    /// [`candidates`](Self::candidates), which streams the same
+    /// experiments lazily.
     ///
     /// # Panics
     ///
     /// Panics if `indiv_tp` has the wrong length or contains
     /// non-positive values.
     pub fn pairs(&self, indiv_tp: &[f64]) -> Vec<Experiment> {
+        self.candidates(indiv_tp).collect()
+    }
+
+    /// Streams the kind-2 and kind-3 pair experiments lazily, in the
+    /// same deterministic order [`pairs`](Self::pairs) materializes
+    /// them: for every unordered pair (universe order) the plain pair,
+    /// then the ratio pair when its multiplier exceeds 1.
+    ///
+    /// This is the candidate source of the adaptive experiment
+    /// scheduler ([`crate::selection`]): the full `O(n²)` corpus is
+    /// never materialized, candidates are pulled into a bounded pool as
+    /// the measurement budget allows.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pmevo_core::InstId;
+    /// use pmevo_evo::ExperimentGenerator;
+    ///
+    /// let gen = ExperimentGenerator::new((0..40).map(InstId).collect());
+    /// let tp = vec![1.0; 40];
+    /// // Pull the first chunk without generating all 780 pairs.
+    /// let chunk: Vec<_> = gen.candidates(&tp).take(8).collect();
+    /// assert_eq!(chunk.len(), 8);
+    /// assert_eq!(gen.candidates(&tp).count(), gen.pairs(&tp).len());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indiv_tp` has the wrong length or contains
+    /// non-positive values.
+    pub fn candidates<'a>(&'a self, indiv_tp: &'a [f64]) -> CandidateStream<'a> {
         assert_eq!(indiv_tp.len(), self.insts.len(), "throughput table size");
         assert!(
             indiv_tp.iter().all(|&t| t > 0.0),
             "non-positive individual throughput"
         );
-        let mut out = Vec::new();
-        for a in 0..self.insts.len() {
-            for b in (a + 1)..self.insts.len() {
-                let (ia, ib) = (self.insts[a], self.insts[b]);
-                out.push(Experiment::pair(ia, 1, ib, 1));
-                // Kind 3: saturate the faster instruction.
-                let (slow, fast, ts, tf) = if indiv_tp[a] > indiv_tp[b] {
-                    (ia, ib, indiv_tp[a], indiv_tp[b])
-                } else {
-                    (ib, ia, indiv_tp[b], indiv_tp[a])
-                };
-                if ts > tf {
-                    let n = (ts / tf).ceil() as u32;
-                    if n > 1 {
-                        out.push(Experiment::pair(slow, 1, fast, n));
-                    }
-                }
-            }
+        CandidateStream {
+            insts: &self.insts,
+            indiv_tp,
+            a: 0,
+            b: 1,
+            pending: None,
         }
-        out
     }
 
     /// The full experiment set: singletons followed by pairs.
@@ -142,12 +163,73 @@ impl ExperimentGenerator {
     }
 }
 
+/// The lazy pair-experiment stream behind
+/// [`ExperimentGenerator::candidates`].
+///
+/// Iteration order is a pure function of the universe and the
+/// individual-throughput table, so two streams over equal inputs yield
+/// identical sequences — adaptive runs stay deterministic.
+#[derive(Debug, Clone)]
+pub struct CandidateStream<'a> {
+    insts: &'a [InstId],
+    indiv_tp: &'a [f64],
+    /// Cursor: next unordered pair `(a, b)` with `a < b`.
+    a: usize,
+    b: usize,
+    /// Ratio pair of the current `(a, b)`, emitted after the plain pair.
+    pending: Option<Experiment>,
+}
+
+impl Iterator for CandidateStream<'_> {
+    type Item = Experiment;
+
+    fn next(&mut self) -> Option<Experiment> {
+        if let Some(ratio) = self.pending.take() {
+            return Some(ratio);
+        }
+        if self.b >= self.insts.len() {
+            return None;
+        }
+        let (a, b) = (self.a, self.b);
+        let (ia, ib) = (self.insts[a], self.insts[b]);
+        // Kind 3: saturate the faster instruction.
+        let (slow, fast, ts, tf) = if self.indiv_tp[a] > self.indiv_tp[b] {
+            (ia, ib, self.indiv_tp[a], self.indiv_tp[b])
+        } else {
+            (ib, ia, self.indiv_tp[b], self.indiv_tp[a])
+        };
+        if ts > tf {
+            let n = (ts / tf).ceil() as u32;
+            if n > 1 {
+                self.pending = Some(Experiment::pair(slow, 1, fast, n));
+            }
+        }
+        self.b += 1;
+        if self.b >= self.insts.len() {
+            self.a += 1;
+            self.b = self.a + 1;
+        }
+        Some(Experiment::pair(ia, 1, ib, 1))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ids(n: u32) -> Vec<InstId> {
         (0..n).map(InstId).collect()
+    }
+
+    #[test]
+    fn candidate_stream_matches_materialized_pairs() {
+        let g = ExperimentGenerator::new(ids(7));
+        let tp = [1.0, 2.5, 0.5, 1.0, 3.0, 1.25, 2.0];
+        let streamed: Vec<Experiment> = g.candidates(&tp).collect();
+        assert_eq!(streamed, g.pairs(&tp));
+        // Lazy pulls see the same prefix.
+        let prefix: Vec<Experiment> = g.candidates(&tp).take(5).collect();
+        assert_eq!(prefix[..], streamed[..5]);
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! paper Table 2 (benchmarking time, inference time, congruence ratio,
 //! distinct-µop count). [`PmEvoAlgorithm`] packages the pipeline as a
 //! [`pmevo_core::InferenceAlgorithm`] for the session API.
+//!
+//! Measurement itself is either one-shot (the paper's fixed corpus) or
+//! round-based under an explicit budget: the [`selection`] module
+//! interleaves measure→evolve rounds, submitting only the experiments
+//! the current population disagrees on
+//! ([`pmevo_core::SelectionPolicy`], [`pmevo_core::MeasurementBudget`]).
 
 pub mod algorithm;
 pub mod congruence;
@@ -20,12 +26,14 @@ pub mod evolution;
 pub mod expgen;
 pub mod fitness;
 pub mod pipeline;
+pub mod selection;
 pub mod validate;
 
 pub use algorithm::PmEvoAlgorithm;
-pub use congruence::CongruencePartition;
-pub use evolution::{evolve, EvoConfig, EvoResult};
-pub use expgen::ExperimentGenerator;
+pub use congruence::{throughput_close, CongruencePartition};
+pub use evolution::{evolve, evolve_resumable, EvoConfig, EvoResult, ResumableEvolution};
+pub use expgen::{CandidateStream, ExperimentGenerator};
 pub use fitness::{average_relative_error, scalarize, ErrorCache, FitnessEngine, Objectives};
 pub use pipeline::{run, PipelineConfig, PipelineResult};
+pub use selection::{run_adaptive, AdaptiveOutcome, AdaptiveTuning};
 pub use validate::{validate, ValidationReport};

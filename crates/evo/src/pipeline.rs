@@ -13,11 +13,13 @@
 //! [`pmevo_core::CachingBackend`] that answers from its cache is not
 //! billed again.
 
-use crate::congruence::CongruencePartition;
+use crate::congruence::{throughput_close, CongruencePartition};
 use crate::evolution::{evolve, EvoConfig, EvoResult};
 use crate::expgen::ExperimentGenerator;
+use crate::selection::{run_adaptive, AdaptiveTuning};
 use pmevo_core::{
-    BackendStats, InstId, MeasuredExperiment, MeasurementBackend, ThreeLevelMapping,
+    BackendStats, Experiment, InstId, MeasuredExperiment, MeasurementBackend,
+    MeasurementBudget, RoundStats, SelectionPolicy, ThreeLevelMapping,
 };
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -34,8 +36,19 @@ pub struct PipelineConfig {
     /// Number of additional random three-form experiments to measure
     /// and train on. The paper explored longer experiments and found no
     /// quality benefit (§4.1); 0 (the default) reproduces the paper's
-    /// final design, non-zero values repeat the exploration.
+    /// final design, non-zero values repeat the exploration. Only used
+    /// by the one-shot path.
     pub extra_triples: usize,
+    /// How experiments are chosen: the paper's up-front corpus
+    /// ([`SelectionPolicy::OneShot`], the default) or a round-based
+    /// adaptive loop (see [`crate::selection`]).
+    pub selection: SelectionPolicy,
+    /// Measurement budget for the round-based policies (ignored by
+    /// [`SelectionPolicy::OneShot`]).
+    pub budget: MeasurementBudget,
+    /// Tuning of the round-based loop (ignored by
+    /// [`SelectionPolicy::OneShot`]).
+    pub adaptive: AdaptiveTuning,
     /// Parameters of the evolutionary algorithm.
     pub evo: EvoConfig,
 }
@@ -46,6 +59,9 @@ impl Default for PipelineConfig {
             epsilon: 0.05,
             congruence_filtering: true,
             extra_triples: 0,
+            selection: SelectionPolicy::OneShot,
+            budget: MeasurementBudget::UNLIMITED,
+            adaptive: AdaptiveTuning::default(),
             evo: EvoConfig::default(),
         }
     }
@@ -73,6 +89,14 @@ pub struct PipelineResult {
     pub num_classes: usize,
     /// Number of measured experiments (benchmark workload size).
     pub num_experiments: usize,
+    /// Per-round measurement accounting: a single round for the
+    /// one-shot policy, one entry per measurement round (round 0 = seed
+    /// corpus) for the adaptive policies.
+    pub rounds: Vec<RoundStats>,
+    /// Best full-universe mapping at the end of each round, parallel to
+    /// [`rounds`](Self::rounds) (the final entry equals
+    /// [`mapping`](Self::mapping)).
+    pub round_mappings: Vec<ThreeLevelMapping>,
     /// The evolutionary algorithm's result on the representative
     /// universe.
     pub evo: EvoResult,
@@ -85,9 +109,42 @@ impl PipelineResult {
     }
 }
 
+/// Expands a mapping over the representative universe back to the full
+/// universe: every instruction carries its class representative's
+/// decomposition.
+fn expand_mapping(
+    universe: &[InstId],
+    partition: &CongruencePartition,
+    rep_index: &BTreeMap<InstId, u32>,
+    dense: &ThreeLevelMapping,
+    num_ports: usize,
+) -> ThreeLevelMapping {
+    let full_decomp = universe
+        .iter()
+        .map(|&id| {
+            let rep = partition.representative(id);
+            dense.decomposition(InstId(rep_index[&rep])).to_vec()
+        })
+        .collect();
+    ThreeLevelMapping::new(num_ports, full_decomp)
+}
+
 /// Runs the full PMEvo pipeline on an instruction universe of
 /// `num_insts` forms (ids `0..num_insts`) over a machine with
 /// `num_ports` ports, measuring through `backend`.
+///
+/// With the default [`SelectionPolicy::OneShot`] the full §4.1 corpus
+/// is measured up front; with a round-based policy the pipeline
+/// interleaves measurement and evolution rounds under
+/// [`PipelineConfig::budget`] (see [`crate::selection`]). In that mode
+/// the paper's pair-informed congruence partition is replaced by
+/// pairwise-verified seeding (one targeted pair measurement per
+/// equally-fast candidate; see `verified_congruence_seed`), skipped
+/// when the budget is already spent by the singleton sweep.
+///
+/// The budget governs the round loop: the singleton sweep is mandatory
+/// (inference is undefined without it), so a budget smaller than the
+/// universe is exceeded by the seed corpus and no rounds are run.
 ///
 /// # Panics
 ///
@@ -102,24 +159,35 @@ pub fn run(
     assert!(num_insts > 0, "empty instruction universe");
     let universe: Vec<InstId> = (0..num_insts as u32).map(InstId).collect();
     let generator = ExperimentGenerator::new(universe.clone());
+    let run_start: BackendStats = backend.stats();
+    let wall_start = Instant::now();
 
-    // Stage 1+2: generate and measure experiments. Cost is accounted by
-    // the backend itself, so deduplicated measurements are not
-    // double-counted.
-    let stats_before: BackendStats = backend.stats();
+    // Stage 1: the singleton sweep — the seed corpus of every policy.
+    // Cost is accounted by the backend itself, so deduplicated
+    // measurements are not double-counted.
     let singletons = generator.singletons();
     let indiv_tp = backend.measure_batch_checked(&singletons);
+    let mut measured: Vec<MeasuredExperiment> = singletons
+        .iter()
+        .cloned()
+        .zip(indiv_tp.iter().copied())
+        .map(|(e, t)| MeasuredExperiment::new(e, t))
+        .collect();
+
+    if config.selection.is_adaptive() {
+        return run_adaptive_pipeline(
+            num_ports, &universe, measured, &indiv_tp, backend, config, run_start, wall_start,
+        );
+    }
+
+    // --- One-shot path (paper Figure 5). ---
+    // Stage 2: measure the full pair corpus.
     let mut extra = generator.pairs(&indiv_tp);
     if config.extra_triples > 0 {
         extra.extend(generator.triples(config.extra_triples, config.evo.seed ^ 0x7319));
     }
     let extra_tp = backend.measure_batch_checked(&extra);
-    let bench_stats = backend.stats().since(&stats_before);
-
-    let mut measured: Vec<MeasuredExperiment> = Vec::with_capacity(singletons.len() + extra.len());
-    for (e, t) in singletons.iter().cloned().zip(indiv_tp.iter().copied()) {
-        measured.push(MeasuredExperiment::new(e, t));
-    }
+    let bench_stats = backend.stats().since(&run_start);
     for (e, t) in extra.into_iter().zip(extra_tp) {
         measured.push(MeasuredExperiment::new(e, t));
     }
@@ -164,20 +232,17 @@ pub fn run(
     let evo_result = evolve(reps.len(), num_ports, &rep_measured, &rep_indiv, &config.evo);
 
     // Expand the representative mapping back to the full universe.
-    let full_decomp = universe
-        .iter()
-        .map(|&id| {
-            let rep = partition.representative(id);
-            evo_result
-                .mapping
-                .decomposition(InstId(rep_index[&rep]))
-                .to_vec()
-        })
-        .collect();
-    let mapping = ThreeLevelMapping::new(num_ports, full_decomp);
+    let mapping = expand_mapping(&universe, &partition, &rep_index, &evo_result.mapping, num_ports);
     let inference_time = infer_start.elapsed();
 
+    let rounds = vec![RoundStats::from_delta(
+        0,
+        &bench_stats,
+        bench_stats.measurements_performed,
+        evo_result.objectives.error,
+    )];
     PipelineResult {
+        round_mappings: vec![mapping.clone()],
         mapping,
         benchmarking_time: bench_stats.measurement_time,
         inference_time,
@@ -185,7 +250,161 @@ pub fn run(
         congruent_fraction: partition.merged_fraction(),
         num_classes: partition.num_classes(),
         num_experiments,
+        rounds,
         evo: evo_result,
+    }
+}
+
+/// Pairwise-verified congruence seeding for budgeted runs: forms with
+/// ε-equal singleton throughput are merge *candidates*; each candidate
+/// is merged into its group's leader only after the leader–candidate
+/// pair is measured and its throughput equals the sum of the two
+/// singleton throughputs (within ε). Identical decompositions always
+/// pass this check (doubling every µop mass exactly doubles the
+/// bottleneck), while port-disjoint forms that happen to be equally
+/// fast overlap when paired, fall short of the sum, and stay separate.
+///
+/// The check is one-directional: two *different* decompositions that
+/// fully conflict through this one pair (e.g. `[{0}]` against
+/// `[{0}, {1}]`) can still merge — congruence here, as in the paper, is
+/// relative to the measured experiments, and a single pair is a coarser
+/// witness than the full corpus. What the budget buys is `O(n)`
+/// verification measurements instead of the `O(n²)` corpus — at most
+/// `max_pairs` of them when the budget has less room left. Returns the
+/// partition plus every verification pair measured, so rejected pairs
+/// join the training seed and nothing is measured twice.
+fn verified_congruence_seed(
+    universe: &[InstId],
+    indiv_tp: &[f64],
+    backend: &mut dyn MeasurementBackend,
+    epsilon: f64,
+    max_pairs: Option<u64>,
+) -> (CongruencePartition, Vec<MeasuredExperiment>) {
+    let mut leaders: Vec<usize> = Vec::new();
+    let mut candidates: Vec<(usize, usize)> = Vec::new(); // (form, leader)
+    for i in 0..universe.len() {
+        match leaders
+            .iter()
+            .copied()
+            .find(|&l| throughput_close(indiv_tp[l], indiv_tp[i], epsilon))
+        {
+            Some(l) => candidates.push((i, l)),
+            None => leaders.push(i),
+        }
+    }
+    // An unverified candidate stays unmerged — the safe direction — so
+    // a tight budget truncates verification instead of overshooting.
+    if let Some(max) = max_pairs {
+        candidates.truncate(usize::try_from(max).unwrap_or(usize::MAX));
+    }
+    let pairs: Vec<Experiment> = candidates
+        .iter()
+        .map(|&(i, l)| Experiment::pair(universe[l], 1, universe[i], 1))
+        .collect();
+    let pair_tp = if pairs.is_empty() {
+        Vec::new()
+    } else {
+        backend.measure_batch_checked(&pairs)
+    };
+    let mut repr: BTreeMap<InstId, InstId> = BTreeMap::new();
+    let mut verification = Vec::with_capacity(pairs.len());
+    for ((&(i, l), e), &t) in candidates.iter().zip(&pairs).zip(&pair_tp) {
+        if throughput_close(t, indiv_tp[l] + indiv_tp[i], epsilon) {
+            repr.insert(universe[i], universe[l]);
+        }
+        verification.push(MeasuredExperiment::new(e.clone(), t));
+    }
+    (
+        CongruencePartition::from_representatives(universe, repr),
+        verification,
+    )
+}
+
+/// The round-based pipeline: pairwise-verified congruence seeding, then
+/// the interleaved measure→evolve loop of [`crate::selection`].
+#[allow(clippy::too_many_arguments)]
+fn run_adaptive_pipeline(
+    num_ports: usize,
+    universe: &[InstId],
+    measured_singletons: Vec<MeasuredExperiment>,
+    indiv_tp: &[f64],
+    backend: &mut dyn MeasurementBackend,
+    config: &PipelineConfig,
+    run_start: BackendStats,
+    wall_start: Instant,
+) -> PipelineResult {
+    // The paper's partition needs the full pair corpus — exactly what
+    // the budget avoids — and merging from singleton throughputs alone
+    // would conflate port-disjoint forms. Verified seeding buys the
+    // class structure with one targeted pair measurement per candidate,
+    // clamped to whatever the mandatory singleton sweep left of the
+    // budget (like the round loop clamps its top-k submissions).
+    let seed_used = backend.stats().since(&run_start);
+    let seeding_affordable = !config.budget.is_exhausted(&seed_used);
+    let (partition, verification) = if config.congruence_filtering && seeding_affordable {
+        verified_congruence_seed(
+            universe,
+            indiv_tp,
+            backend,
+            config.epsilon,
+            config.budget.remaining_measurements(&seed_used),
+        )
+    } else {
+        (CongruencePartition::identity(universe), Vec::new())
+    };
+    let reps = partition.representatives().to_vec();
+    let rep_index: BTreeMap<InstId, u32> = reps
+        .iter()
+        .enumerate()
+        .map(|(k, &id)| (id, k as u32))
+        .collect();
+    let rep_indiv: Vec<f64> = reps.iter().map(|&id| indiv_tp[id.index()]).collect();
+    // The training seed: singleton sweep plus the verification pairs,
+    // restricted to experiments entirely over representatives (a merged
+    // candidate's measurements are paid for but train nothing — its
+    // representative carries the class).
+    let seed_measured: Vec<MeasuredExperiment> = measured_singletons
+        .into_iter()
+        .chain(verification)
+        .filter(|me| me.experiment.iter().all(|(i, _)| rep_index.contains_key(&i)))
+        .collect();
+
+    let outcome = run_adaptive(
+        &reps,
+        num_ports,
+        &rep_indiv,
+        seed_measured,
+        backend,
+        config.selection,
+        &config.budget,
+        &config.adaptive,
+        &config.evo,
+        &run_start,
+    );
+
+    let bench_stats = backend.stats().since(&run_start);
+    let mapping = expand_mapping(universe, &partition, &rep_index, &outcome.evo.mapping, num_ports);
+    let round_mappings: Vec<ThreeLevelMapping> = outcome
+        .round_mappings
+        .iter()
+        .map(|dense| expand_mapping(universe, &partition, &rep_index, dense, num_ports))
+        .collect();
+
+    PipelineResult {
+        mapping,
+        benchmarking_time: bench_stats.measurement_time,
+        // Measurement and inference interleave here, so inference time
+        // is everything that was not spent measuring.
+        inference_time: wall_start
+            .elapsed()
+            .saturating_sub(bench_stats.measurement_time),
+        measurements_performed: bench_stats.measurements_performed,
+        congruent_fraction: partition.merged_fraction(),
+        num_classes: partition.num_classes(),
+        num_experiments: outcome.measured.len(),
+        rounds: outcome.rounds,
+        round_mappings,
+        evo: outcome.evo,
     }
 }
 
@@ -311,6 +530,37 @@ mod tests {
     #[should_panic(expected = "batch size mismatch")]
     fn wrong_measurement_count_panics() {
         run(2, 2, &mut BrokenBackend, &small_config());
+    }
+
+    #[test]
+    fn adaptive_budget_smaller_than_seed_stops_after_singletons() {
+        let mut cfg = small_config();
+        cfg.selection = SelectionPolicy::Disagreement { top_k: 2 };
+        // Less than the 5 mandatory singletons: the seed sweep runs
+        // anyway, but verification pairs and all rounds are skipped.
+        cfg.budget = MeasurementBudget::measurements(3);
+        let mut backend = ModelBackend::new(toy_ground_truth());
+        let result = run(5, 3, &mut backend, &cfg);
+        assert_eq!(result.measurements_performed, 5);
+        assert_eq!(result.rounds.len(), 1);
+        assert_eq!(result.num_experiments, 5);
+        // Congruence seeding was skipped → identity partition.
+        assert_eq!(result.num_classes, 5);
+        assert_eq!(result.congruent_fraction, 0.0);
+    }
+
+    #[test]
+    fn adaptive_verification_pairs_respect_the_budget() {
+        let mut cfg = small_config();
+        cfg.selection = SelectionPolicy::Disagreement { top_k: 2 };
+        // Room for exactly one verification pair after the 5 singletons.
+        cfg.budget = MeasurementBudget::measurements(6);
+        let mut backend = ModelBackend::new(toy_ground_truth());
+        let result = run(5, 3, &mut backend, &cfg);
+        assert_eq!(result.measurements_performed, 6, "budget overshot");
+        // Of the two merge candidates (i1→i0, i3→i2) only the first
+        // could be verified; the unverified one stays its own class.
+        assert_eq!(result.num_classes, 4);
     }
 
     #[test]

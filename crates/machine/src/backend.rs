@@ -141,6 +141,39 @@ mod tests {
     }
 
     #[test]
+    fn incremental_batches_match_one_batch_for_every_parallelism() {
+        // The adaptive selection loop submits many small top-k batches
+        // instead of one up-front corpus; the chunked parallel
+        // measurement (and its per-experiment noise stream) must return
+        // the same values however the batch is split across calls and
+        // worker threads.
+        let p = platforms::tiny();
+        let mut exps: Vec<Experiment> = (0..6).map(|i| Experiment::singleton(InstId(i))).collect();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                exps.push(Experiment::pair(InstId(a), 1, InstId(b), 2));
+            }
+        }
+        let mut oneshot = SimBackend::with_parallelism(p.clone(), MeasureConfig::default(), 4);
+        let want = oneshot.measure_batch(&exps);
+        for threads in [1, 2, 8] {
+            for chunk in [1, 3, exps.len()] {
+                let mut backend =
+                    SimBackend::with_parallelism(p.clone(), MeasureConfig::default(), threads);
+                let mut got = Vec::with_capacity(exps.len());
+                for sub in exps.chunks(chunk) {
+                    got.extend(backend.measure_batch(sub));
+                }
+                assert_eq!(
+                    got, want,
+                    "{threads} threads with {chunk}-experiment batches diverged"
+                );
+                assert_eq!(backend.stats().measurements_performed, exps.len() as u64);
+            }
+        }
+    }
+
+    #[test]
     fn matches_the_measurer_directly() {
         let p = platforms::a72();
         let e = Experiment::pair(InstId(0), 1, InstId(4), 2);

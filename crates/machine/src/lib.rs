@@ -36,7 +36,8 @@ pub use measure::{MeasureConfig, Measurer};
 pub use platform::{Platform, PlatformInfo};
 pub use sim::{simulate_kernel, SimResult};
 
-/// The three paper-analogous machine configurations (paper Table 1).
+/// The three paper-analogous machine configurations (paper Table 1),
+/// plus the TINY toy machine for smoke tests and CI sweeps.
 pub mod platforms {
-    pub use crate::platform::{a72, skl, zen};
+    pub use crate::platform::{a72, skl, tiny, zen};
 }

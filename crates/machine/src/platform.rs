@@ -552,6 +552,56 @@ pub fn a72() -> Platform {
     )
 }
 
+/// TINY-like ground truth over the six-form toy ISA. Ports: 0,1 integer
+/// ALU (0 also multiply; the divider is a 4-µop port-0 chain); 2 load;
+/// 3 store; 1 vector. Everything is fully pipelined so the cycle-level
+/// simulator tracks the bottleneck model closely — TINY exists for
+/// smoke tests and CI sweeps where held-out accuracy should reflect
+/// inference quality, not frontend artifacts.
+fn tiny_decomp(f: &InstructionForm) -> (Vec<UopEntry>, ExecParams) {
+    use OpClass::*;
+    let (uops, lat) = match f.class {
+        IntMul => (vec![u(1, ps(&[0]))], 3),
+        IntDiv => (vec![u(4, ps(&[0]))], 8),
+        Load => (vec![u(1, ps(&[2]))], 4),
+        Store => (vec![u(1, ps(&[3]))], 1),
+        VecAlu | VecMul | VecDiv | Shuffle | Convert => (vec![u(1, ps(&[1]))], 2),
+        _ => (vec![u(1, ps(&[0, 1]))], 1),
+    };
+    (
+        uops,
+        ExecParams {
+            latency: lat,
+            blocking: 1,
+        },
+    )
+}
+
+/// The TINY toy machine: 4 ports over the six-form
+/// [`pmevo_isa::synth::tiny_isa`] — small enough for smoke tests and CI
+/// sweeps (`fig_budget` runs its budget × policy grid on it), yet with
+/// real port structure (shared ALU ports, a port-restricted multiplier
+/// and multi-µop divider, disjoint load/store pipes) so inference has
+/// something to find.
+pub fn tiny() -> Platform {
+    build(
+        "TINY",
+        PlatformInfo {
+            manufacturer: "toy".into(),
+            processor: "toy core (simulated)".into(),
+            microarch: "tiny".into(),
+            ports_desc: "4".into(),
+            isa_name: "tiny".into(),
+            clock_ghz: 1.0,
+        },
+        synth::tiny_isa(),
+        4,
+        tiny_decomp,
+        4,
+        32,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,6 +612,7 @@ mod tests {
             (skl(), 9, 310),
             (zen(), 10, 310),
             (a72(), 7, 390),
+            (tiny(), 4, 6),
         ] {
             assert_eq!(p.num_ports(), ports, "{}", p.name());
             assert_eq!(p.isa().len(), forms, "{}", p.name());

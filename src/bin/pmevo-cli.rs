@@ -47,8 +47,9 @@ fn platform_from(args: &[String]) -> Result<Platform, ExitCode> {
         Some(ref s) if s == "SKL" => Ok(platforms::skl()),
         Some(ref s) if s == "ZEN" => Ok(platforms::zen()),
         Some(ref s) if s == "A72" => Ok(platforms::a72()),
+        Some(ref s) if s == "TINY" => Ok(platforms::tiny()),
         Some(other) => {
-            eprintln!("unknown platform {other}; expected SKL, ZEN or A72");
+            eprintln!("unknown platform {other}; expected SKL, ZEN, A72 or TINY");
             Err(ExitCode::from(2))
         }
         None => {
@@ -121,7 +122,12 @@ fn parse_experiment(platform: &Platform, spec: &str) -> Result<Experiment, Strin
 }
 
 fn cmd_platforms() -> ExitCode {
-    for p in [platforms::skl(), platforms::zen(), platforms::a72()] {
+    for p in [
+        platforms::skl(),
+        platforms::zen(),
+        platforms::a72(),
+        platforms::tiny(),
+    ] {
         println!(
             "{:4} {:10} {:8} {} forms, {} ports, fetch {}, window {}",
             p.name(),

@@ -37,7 +37,7 @@
 use pmevo_core::json::{self, Value};
 use pmevo_core::{
     CachingBackend, Experiment, InferenceAlgorithm, InstId, MeasurementBackend,
-    ThreeLevelMapping,
+    MeasurementBudget, RoundStats, SelectionPolicy, ThreeLevelMapping,
 };
 use pmevo_evo::PmEvoAlgorithm;
 use pmevo_machine::{MeasureConfig, Platform, SimBackend};
@@ -107,6 +107,8 @@ pub struct SessionBuilder {
     cache_measurements: bool,
     population: Option<usize>,
     max_generations: Option<u32>,
+    selection: SelectionPolicy,
+    budget: MeasurementBudget,
     accuracy_benchmarks: usize,
     benchmark_size: u32,
 }
@@ -124,6 +126,8 @@ impl Default for SessionBuilder {
             cache_measurements: true,
             population: None,
             max_generations: None,
+            selection: SelectionPolicy::OneShot,
+            budget: MeasurementBudget::UNLIMITED,
             accuracy_benchmarks: 128,
             benchmark_size: 5,
         }
@@ -214,6 +218,28 @@ impl SessionBuilder {
         self
     }
 
+    /// The experiment-selection policy (default:
+    /// [`SelectionPolicy::OneShot`], the paper's up-front corpus). A
+    /// round-based policy makes the default PMEvo algorithm interleave
+    /// measure→evolve rounds under [`budget`](Self::budget); like the
+    /// other algorithm shortcuts it is ignored when an explicit
+    /// algorithm is set, but always recorded in the report.
+    #[must_use]
+    pub fn selection(mut self, selection: SelectionPolicy) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// The measurement budget for a round-based
+    /// [`selection`](Self::selection) policy (default: unlimited).
+    /// Ignored when an explicit algorithm is set, but always recorded in
+    /// the report.
+    #[must_use]
+    pub fn budget(mut self, budget: MeasurementBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Number of held-out benchmarks for the ground-truth accuracy
     /// report (0 disables it; it is also skipped without a platform).
     #[must_use]
@@ -256,7 +282,8 @@ impl SessionBuilder {
         let algorithm: BoxedAlgorithm = match self.algorithm {
             Some(a) => a,
             None => {
-                let mut pmevo = PmEvoAlgorithm::with_seed(self.seed);
+                let mut pmevo =
+                    PmEvoAlgorithm::with_selection(self.seed, self.selection, self.budget);
                 if let Some(p) = self.population {
                     pmevo.config.evo.population_size = p;
                 }
@@ -282,6 +309,8 @@ impl SessionBuilder {
             backend,
             algorithm,
             seed: self.seed,
+            selection: self.selection,
+            budget: self.budget,
             accuracy_benchmarks: self.accuracy_benchmarks,
             benchmark_size: self.benchmark_size,
         })
@@ -298,6 +327,8 @@ pub struct Session {
     backend: BoxedBackend,
     algorithm: BoxedAlgorithm,
     seed: u64,
+    selection: SelectionPolicy,
+    budget: MeasurementBudget,
     accuracy_benchmarks: usize,
     benchmark_size: u32,
 }
@@ -349,39 +380,55 @@ impl Session {
         let inferred =
             self.algorithm
                 .infer(self.num_insts, self.num_ports, &mut self.backend);
-        let accuracy = self.platform.as_ref().and_then(|platform| {
-            if self.accuracy_benchmarks == 0 {
-                return None;
-            }
-            // Held-out accuracy against the hidden ground truth, on
-            // seed-derived random multisets (paper §5.3 style). Pure
-            // model evaluation: deterministic and measurement-free.
-            let gt = platform.ground_truth();
-            let mut rng = StdRng::seed_from_u64(self.seed ^ 0xACC0_57A7);
-            let mut predicted = Vec::with_capacity(self.accuracy_benchmarks);
-            let mut reference = Vec::with_capacity(self.accuracy_benchmarks);
-            for _ in 0..self.accuracy_benchmarks {
-                let counts: Vec<(InstId, u32)> = (0..self.benchmark_size)
-                    .map(|_| (InstId(rng.gen_range(0..self.num_insts as u32)), 1))
+        let mut accuracy = None;
+        let mut accuracy_trajectory = Vec::new();
+        if let Some(platform) = self.platform.as_ref() {
+            if self.accuracy_benchmarks > 0 {
+                // Held-out accuracy against the hidden ground truth, on
+                // seed-derived random multisets (paper §5.3 style). Pure
+                // model evaluation: deterministic and measurement-free.
+                let gt = platform.ground_truth();
+                let mut rng = StdRng::seed_from_u64(self.seed ^ 0xACC0_57A7);
+                let mut benchmarks = Vec::with_capacity(self.accuracy_benchmarks);
+                let mut reference = Vec::with_capacity(self.accuracy_benchmarks);
+                for _ in 0..self.accuracy_benchmarks {
+                    let counts: Vec<(InstId, u32)> = (0..self.benchmark_size)
+                        .map(|_| (InstId(rng.gen_range(0..self.num_insts as u32)), 1))
+                        .collect();
+                    let e = Experiment::from_counts(&counts);
+                    reference.push(gt.throughput(&e));
+                    benchmarks.push(e);
+                }
+                let summarize = |mapping: &ThreeLevelMapping| {
+                    let predicted: Vec<f64> =
+                        benchmarks.iter().map(|e| mapping.throughput(e)).collect();
+                    AccuracySummary::compute(&predicted, &reference)
+                };
+                let summary = summarize(&inferred.mapping);
+                accuracy = Some(AccuracyReport {
+                    mape: summary.mape,
+                    pearson: summary.pearson,
+                    spearman: summary.spearman,
+                    num_benchmarks: self.accuracy_benchmarks,
+                });
+                // The budget-vs-quality trajectory: held-out MAPE of the
+                // best mapping after each measurement round, on the same
+                // benchmark set.
+                accuracy_trajectory = inferred
+                    .round_mappings
+                    .iter()
+                    .map(|m| summarize(m).mape)
                     .collect();
-                let e = Experiment::from_counts(&counts);
-                predicted.push(inferred.mapping.throughput(&e));
-                reference.push(gt.throughput(&e));
             }
-            let summary = AccuracySummary::compute(&predicted, &reference);
-            Some(AccuracyReport {
-                mape: summary.mape,
-                pearson: summary.pearson,
-                spearman: summary.spearman,
-                num_benchmarks: self.accuracy_benchmarks,
-            })
-        });
+        }
         SessionReport {
             label: self.label,
             platform: self.platform.as_ref().map(|p| p.name().to_owned()),
             backend: self.backend.name().to_owned(),
             algorithm: inferred.algorithm,
             seed: self.seed,
+            selection: self.selection,
+            budget: self.budget,
             num_insts: self.num_insts,
             num_ports: self.num_ports,
             num_experiments: inferred.num_experiments,
@@ -391,7 +438,9 @@ impl Session {
             congruent_fraction: inferred.congruent_fraction,
             num_classes: inferred.num_classes,
             training_error: inferred.training_error,
+            rounds: inferred.rounds,
             accuracy,
+            accuracy_trajectory,
             mapping: inferred.mapping,
         }
     }
@@ -430,6 +479,10 @@ pub struct SessionReport {
     pub algorithm: String,
     /// The session seed.
     pub seed: u64,
+    /// The configured experiment-selection policy.
+    pub selection: SelectionPolicy,
+    /// The configured measurement budget.
+    pub budget: MeasurementBudget,
     /// Size of the instruction universe inferred over.
     pub num_insts: usize,
     /// Number of execution ports inferred over.
@@ -449,9 +502,18 @@ pub struct SessionReport {
     pub num_classes: usize,
     /// Training `D_avg` of the inferred mapping, when reported.
     pub training_error: Option<f64>,
+    /// Per-round measurement accounting (round 0 is the seed corpus; a
+    /// single round for one-shot algorithms that report it).
+    pub rounds: Vec<RoundStats>,
     /// Held-out accuracy against the ground truth, when a platform was
     /// configured.
     pub accuracy: Option<AccuracyReport>,
+    /// Held-out MAPE (same benchmark set as
+    /// [`accuracy`](Self::accuracy)) of the best mapping after each
+    /// round, parallel to [`rounds`](Self::rounds) — the
+    /// budget-vs-quality trajectory. Empty without a platform or
+    /// accuracy benchmarks.
+    pub accuracy_trajectory: Vec<f64>,
     /// The inferred mapping itself.
     pub mapping: ThreeLevelMapping,
 }
@@ -482,14 +544,16 @@ fn duration_to_ns(d: Duration) -> u64 {
 }
 
 impl SessionReport {
-    /// A copy with both wall-clock timings zeroed — every remaining
-    /// field is bit-identical across runs with the same configuration
-    /// and seed, regardless of worker-thread counts.
+    /// A copy with all wall-clock timings zeroed (the two totals and
+    /// every round's measurement time) — every remaining field is
+    /// bit-identical across runs with the same configuration and seed,
+    /// regardless of worker-thread counts.
     #[must_use]
     pub fn without_timings(&self) -> SessionReport {
         SessionReport {
             benchmarking_time: Duration::ZERO,
             inference_time: Duration::ZERO,
+            rounds: self.rounds.iter().map(|r| r.without_timing()).collect(),
             ..self.clone()
         }
     }
@@ -519,6 +583,8 @@ impl SessionReport {
             ("backend".into(), Value::Str(self.backend.clone())),
             ("algorithm".into(), Value::Str(self.algorithm.clone())),
             ("seed".into(), Value::UInt(self.seed)),
+            ("selection".into(), self.selection.to_json_value()),
+            ("budget".into(), self.budget.to_json_value()),
             ("num_insts".into(), Value::UInt(self.num_insts as u64)),
             ("num_ports".into(), Value::UInt(self.num_ports as u64)),
             ("num_experiments".into(), Value::UInt(self.num_experiments as u64)),
@@ -537,7 +603,20 @@ impl SessionReport {
             ("congruent_fraction".into(), Value::Num(self.congruent_fraction)),
             ("num_classes".into(), Value::UInt(self.num_classes as u64)),
             ("training_error".into(), opt_num(self.training_error)),
+            (
+                "rounds".into(),
+                Value::Arr(self.rounds.iter().map(RoundStats::to_json_value).collect()),
+            ),
             ("accuracy".into(), accuracy),
+            (
+                "accuracy_trajectory".into(),
+                Value::Arr(
+                    self.accuracy_trajectory
+                        .iter()
+                        .map(|&m| Value::Num(m))
+                        .collect(),
+                ),
+            ),
             ("mapping".into(), self.mapping.to_json_value()),
         ])
     }
@@ -613,6 +692,36 @@ impl SessionReport {
                 ThreeLevelMapping::from_json_value(v)
                     .map_err(|e| shape(&format!("field `mapping`: {e}")))
             })?;
+        let selection = doc
+            .get("selection")
+            .ok_or_else(|| shape("missing field `selection`"))
+            .and_then(|v| {
+                SelectionPolicy::from_json_value(v).map_err(|e| shape(&format!("field `selection`: {e}")))
+            })?;
+        let budget = doc
+            .get("budget")
+            .ok_or_else(|| shape("missing field `budget`"))
+            .and_then(|v| {
+                MeasurementBudget::from_json_value(v)
+                    .map_err(|e| shape(&format!("field `budget`: {e}")))
+            })?;
+        let rounds = doc
+            .get("rounds")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| shape("missing array field `rounds`"))?
+            .iter()
+            .map(|v| {
+                RoundStats::from_json_value(v).map_err(|e| shape(&format!("field `rounds`: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let accuracy_trajectory = doc
+            .get("accuracy_trajectory")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| shape("missing array field `accuracy_trajectory`"))?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| num_field(Some(v), &format!("accuracy_trajectory[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?;
         let as_usize = |n: u64, name: &str| {
             usize::try_from(n).map_err(|_| shape(&format!("field `{name}` overflows usize")))
         };
@@ -622,6 +731,8 @@ impl SessionReport {
             backend: str_field("backend")?,
             algorithm: str_field("algorithm")?,
             seed: uint_field("seed")?,
+            selection,
+            budget,
             num_insts: as_usize(uint_field("num_insts")?, "num_insts")?,
             num_ports: as_usize(uint_field("num_ports")?, "num_ports")?,
             num_experiments: as_usize(uint_field("num_experiments")?, "num_experiments")?,
@@ -631,7 +742,9 @@ impl SessionReport {
             congruent_fraction: num_field(doc.get("congruent_fraction"), "congruent_fraction")?,
             num_classes: as_usize(uint_field("num_classes")?, "num_classes")?,
             training_error,
+            rounds,
             accuracy,
+            accuracy_trajectory,
             mapping,
         })
     }
@@ -657,6 +770,15 @@ impl fmt::Display for SessionReport {
             "  time          benchmarking {:.1?}, inference {:.1?}",
             self.benchmarking_time, self.inference_time
         )?;
+        if self.selection.is_adaptive() {
+            writeln!(
+                f,
+                "  selection     {} (budget {}), {} rounds",
+                self.selection,
+                self.budget,
+                self.rounds.len()
+            )?;
+        }
         writeln!(
             f,
             "  congruence    {:.0}% merged, {} classes",

@@ -1,0 +1,141 @@
+//! Acceptance test for adaptive measurement-budget experiment
+//! selection (ISSUE 4): on the synthetic x86 platform with a fixed
+//! seed, the disagreement-driven scheduler must reach held-out accuracy
+//! equal to or better than the one-shot pipeline using at most 50% of
+//! its measurements — deterministically.
+
+use pmevo::core::{MeasurementBudget, SelectionPolicy, ThreeLevelMapping};
+use pmevo::isa::InstructionSet;
+use pmevo::machine::{platforms, MeasureConfig, Platform};
+use pmevo::Session;
+
+// Pinned like the repo's other seed-sensitive evolution tests: the
+// comparison is deterministic for any fixed seed, and this one leaves a
+// wide accuracy margin on both sides.
+const SEED: u64 = 21;
+
+/// A 15-form slice of the synthetic x86 ISA with the SKL ground truth:
+/// plain ALU (two congruent forms), flagged ALU, ALU-with-load, plain
+/// and double shifts, both `lea` flavors, multiply variants, bit tests,
+/// `cmov`, `popcnt` and a vector op — port-diverse enough that held-out
+/// accuracy measures real inference quality, small enough that the
+/// quadratic one-shot corpus keeps the test fast. (A plain ISA prefix
+/// would be all congruent ALU forms — a degenerate universe.)
+fn x86_subset_platform() -> Platform {
+    let skl = platforms::skl();
+    let names = [
+        "add_r32_r32",
+        "add_r64_r64",
+        "adc_r32_r32",
+        "add_r32_m32",
+        "shl_r32_i32",
+        "shld_r32_r32_i32",
+        "lea_r32_r64",
+        "lea3_r32_r64_r64",
+        "mulhi_r32_r32",
+        "imul_r64_r64",
+        "bt_r32_i32",
+        "btc_r32_i32",
+        "popcnt_r32_r32",
+        "cmove_r32_r32",
+        "paddb_v128_v128_v128",
+    ];
+    let mut isa = InstructionSet::new("x86-64 subset");
+    let mut decomp = Vec::with_capacity(names.len());
+    let mut exec = Vec::with_capacity(names.len());
+    for name in names {
+        let id = skl
+            .isa()
+            .find(name)
+            .unwrap_or_else(|| panic!("synthetic x86 form {name} exists"));
+        isa.push(skl.isa().form(id).clone());
+        decomp.push(skl.ground_truth().decomposition(id).to_vec());
+        exec.push(skl.exec_params(id));
+    }
+    Platform::new(
+        "SKL-subset",
+        skl.info().clone(),
+        isa,
+        ThreeLevelMapping::new(skl.num_ports(), decomp),
+        exec,
+        skl.fetch_width(),
+        skl.window_size(),
+    )
+}
+
+fn session(selection: SelectionPolicy, budget: MeasurementBudget) -> Session {
+    Session::builder()
+        .platform(x86_subset_platform())
+        .measure_config(MeasureConfig::exact())
+        .seed(SEED)
+        .selection(selection)
+        .budget(budget)
+        .population(120)
+        .max_generations(25)
+        .accuracy_benchmarks(64)
+        .build()
+        .expect("acceptance session configuration is valid")
+}
+
+#[test]
+fn adaptive_selection_matches_one_shot_accuracy_at_half_the_budget() {
+    let one_shot = session(SelectionPolicy::OneShot, MeasurementBudget::UNLIMITED).run();
+    let one_shot_accuracy = one_shot.accuracy.as_ref().expect("platform session reports accuracy");
+    assert!(one_shot.measurements_performed > 0);
+
+    // Half of what one-shot spent, enforced as a hard budget.
+    let budget = one_shot.measurements_performed / 2;
+    let adaptive = session(
+        SelectionPolicy::Disagreement { top_k: 8 },
+        MeasurementBudget::measurements(budget),
+    )
+    .run();
+    let adaptive_accuracy = adaptive.accuracy.as_ref().expect("platform session reports accuracy");
+
+    // ≤ 50% of the one-shot measurements, actually spent in rounds.
+    assert!(
+        adaptive.measurements_performed * 2 <= one_shot.measurements_performed,
+        "adaptive spent {} of one-shot's {} measurements",
+        adaptive.measurements_performed,
+        one_shot.measurements_performed
+    );
+    assert!(adaptive.rounds.len() > 1, "expected a multi-round adaptive run");
+    assert_eq!(
+        adaptive.accuracy_trajectory.len(),
+        adaptive.rounds.len(),
+        "one trajectory point per round"
+    );
+
+    // Held-out accuracy no worse than one-shot's, on the identical
+    // seed-derived benchmark set.
+    assert!(
+        adaptive_accuracy.mape <= one_shot_accuracy.mape,
+        "adaptive MAPE {:.3}% vs one-shot MAPE {:.3}% at half the measurements",
+        adaptive_accuracy.mape,
+        one_shot_accuracy.mape
+    );
+
+    // Round accounting is coherent: cumulative counts are monotone and
+    // end at the total, and the budget was respected.
+    for w in adaptive.rounds.windows(2) {
+        assert!(w[1].cumulative_measurements >= w[0].cumulative_measurements);
+    }
+    assert_eq!(
+        adaptive.rounds.last().unwrap().cumulative_measurements,
+        adaptive.measurements_performed
+    );
+    assert!(adaptive.measurements_performed <= budget);
+
+    // Deterministic end to end: an identical session replays to a
+    // bit-identical report (timings aside), serialized form included.
+    let again = session(
+        SelectionPolicy::Disagreement { top_k: 8 },
+        MeasurementBudget::measurements(budget),
+    )
+    .run();
+    assert_eq!(
+        again.without_timings().to_json(),
+        adaptive.without_timings().to_json(),
+        "adaptive session is not deterministic"
+    );
+}

@@ -1,0 +1,171 @@
+//! Decorator-composition coverage: `CachingBackend` + `NoisyBackend`
+//! under multi-round adaptive selection.
+//!
+//! The adaptive scheduler submits many small batches across rounds and
+//! runs; the decorator stack must (a) never double-bill an experiment
+//! that the cache already answered, and (b) produce values that do not
+//! depend on decorator order, batch boundaries or submission order —
+//! the noise stream is a pure function of `(seed, experiment)`.
+
+use pmevo::core::{
+    CachingBackend, Experiment, InstId, MeasurementBackend, MeasurementBudget, ModelBackend,
+    NoisyBackend, PortSet, SelectionPolicy, ThreeLevelMapping, UopEntry,
+};
+use pmevo::evo::{run, AdaptiveTuning, EvoConfig, PipelineConfig};
+
+fn uop(count: u32, ports: &[usize]) -> UopEntry {
+    UopEntry::new(count, PortSet::from_ports(ports))
+}
+
+fn ground_truth() -> ThreeLevelMapping {
+    ThreeLevelMapping::new(
+        3,
+        vec![
+            vec![uop(1, &[0])],
+            vec![uop(1, &[0, 1])],
+            vec![uop(2, &[2])],
+            vec![uop(1, &[1, 2])],
+            vec![uop(1, &[2]), uop(1, &[0])],
+        ],
+    )
+}
+
+fn adaptive_config(seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        selection: SelectionPolicy::Disagreement { top_k: 2 },
+        budget: MeasurementBudget::measurements(13),
+        adaptive: AdaptiveTuning {
+            gens_per_round: 3,
+            ..AdaptiveTuning::default()
+        },
+        evo: EvoConfig {
+            population_size: 20,
+            max_generations: 6,
+            num_threads: 2,
+            seed,
+            ..EvoConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+/// A cached noisy backend, driven through two whole adaptive runs:
+/// the second run's submissions are all cache hits, so its rounds bill
+/// zero real measurements and its result is bit-identical.
+#[test]
+fn multi_round_selection_never_double_bills_cached_experiments() {
+    let mut stack = CachingBackend::new(NoisyBackend::new(ModelBackend::new(ground_truth()), 0.02, 9));
+    let config = adaptive_config(5);
+
+    let first = run(5, 3, &mut stack, &config);
+    let after_first = stack.stats();
+    // Every real measurement this run performed is a distinct cache
+    // entry, and the run billed exactly those.
+    assert_eq!(after_first.measurements_performed, stack.cache_size() as u64);
+    assert_eq!(first.measurements_performed, after_first.measurements_performed);
+    assert!(first.rounds.len() > 1, "expected a multi-round run");
+
+    let second = run(5, 3, &mut stack, &config);
+    let after_second = stack.stats();
+    // The second run re-requests the seed corpus (and every experiment
+    // the first run measured) from the cache for free — its budget only
+    // pays for genuinely new experiments, so it may legitimately
+    // explore further. The invariant: real measurements grew by exactly
+    // the number of new distinct cache entries, never by a re-bill.
+    let new_entries = stack.cache_size() as u64 - after_first.measurements_performed;
+    assert_eq!(
+        after_second.measurements_performed - after_first.measurements_performed,
+        new_entries,
+        "cache hits were double-billed"
+    );
+    assert_eq!(second.measurements_performed, new_entries);
+    assert!(after_second.measurements_requested > after_first.measurements_requested);
+    // The budget caps real measurements per run regardless of cache
+    // traffic.
+    assert!(second.measurements_performed <= 13);
+    // Round 0 resubmits the seed corpus (the five singletons plus the
+    // congruence-verification pairs) — all cache hits.
+    assert!(second.rounds[0].experiments_submitted >= 5);
+    assert_eq!(
+        second.rounds[0].experiments_submitted,
+        first.rounds[0].experiments_submitted
+    );
+    assert_eq!(second.rounds[0].measurements_performed, 0);
+    // Cached values are identical, so the shared prefix of the two runs
+    // evolved identically: the first training error (computed on the
+    // seed corpus alone) must match bit for bit.
+    assert_eq!(
+        second.rounds[0].training_error,
+        first.rounds[0].training_error
+    );
+}
+
+/// `cached(noisy(model))` and `noisy(cached(model))` agree on every
+/// value: the noise stream depends only on `(seed, experiment)`, so
+/// caching under or over the noise is observationally equivalent.
+#[test]
+fn decorator_order_does_not_change_measured_values() {
+    let sigma = 0.05;
+    let seed = 42;
+    let mut cached_noisy =
+        CachingBackend::new(NoisyBackend::new(ModelBackend::new(ground_truth()), sigma, seed));
+    let mut noisy_cached =
+        NoisyBackend::new(CachingBackend::new(ModelBackend::new(ground_truth())), sigma, seed);
+
+    let exps: Vec<Experiment> = (0..5u32)
+        .map(|i| Experiment::singleton(InstId(i)))
+        .chain((0..4u32).map(|i| Experiment::pair(InstId(i), 1, InstId(i + 1), 2)))
+        .collect();
+    // Same experiments, different batch boundaries and repetition
+    // patterns per stack.
+    let a: Vec<f64> = exps.chunks(3).flat_map(|c| cached_noisy.measure_batch(c)).collect();
+    let mut b: Vec<f64> = Vec::new();
+    for e in &exps {
+        b.push(noisy_cached.measure_batch(std::slice::from_ref(e))[0]);
+    }
+    assert_eq!(a, b, "decorator order changed measured values");
+    // Noise actually fired (the stack is not silently exact).
+    let mut exact = ModelBackend::new(ground_truth());
+    assert_ne!(a, exact.measure_batch(&exps));
+
+    // Re-measuring in reverse order answers from cache with the same
+    // values and bills nothing new on the caching stack.
+    let performed = cached_noisy.stats().measurements_performed;
+    let reversed: Vec<Experiment> = exps.iter().rev().cloned().collect();
+    let c = cached_noisy.measure_batch(&reversed);
+    assert_eq!(
+        c,
+        a.iter().rev().copied().collect::<Vec<f64>>(),
+        "submission order changed cached values"
+    );
+    assert_eq!(cached_noisy.stats().measurements_performed, performed);
+}
+
+/// The full adaptive pipeline over both stack orders produces the same
+/// inference outcome — the scheduler sees identical measurements either
+/// way.
+#[test]
+fn adaptive_run_is_stack_order_independent() {
+    let sigma = 0.03;
+    let noise_seed = 7;
+    let config = adaptive_config(11);
+    let mut cached_noisy = CachingBackend::new(NoisyBackend::new(
+        ModelBackend::new(ground_truth()),
+        sigma,
+        noise_seed,
+    ));
+    let mut noisy_cached = NoisyBackend::new(
+        CachingBackend::new(ModelBackend::new(ground_truth())),
+        sigma,
+        noise_seed,
+    );
+    let a = run(5, 3, &mut cached_noisy, &config);
+    let b = run(5, 3, &mut noisy_cached, &config);
+    assert_eq!(a.mapping, b.mapping);
+    assert_eq!(a.num_experiments, b.num_experiments);
+    assert_eq!(a.evo.objectives.error, b.evo.objectives.error);
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.training_error, rb.training_error);
+        assert_eq!(ra.experiments_submitted, rb.experiments_submitted);
+    }
+}

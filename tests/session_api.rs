@@ -4,8 +4,8 @@
 //! validation.
 
 use pmevo::core::{
-    CachingBackend, InstId, MeasurementBackend, PortSet, ReplayBackend, ThreeLevelMapping,
-    UopEntry,
+    CachingBackend, InstId, MeasurementBackend, MeasurementBudget, PortSet, ReplayBackend,
+    RoundStats, SelectionPolicy, ThreeLevelMapping, UopEntry,
 };
 use pmevo::evo::{EvoConfig, PipelineConfig, PmEvoAlgorithm};
 use pmevo::isa::synth::tiny_isa;
@@ -122,6 +122,50 @@ fn accuracy_strategy() -> impl Strategy<Value = Option<AccuracyReport>> {
     ]
 }
 
+fn selection_strategy() -> impl Strategy<Value = SelectionPolicy> {
+    prop_oneof![
+        Just(SelectionPolicy::OneShot),
+        (1usize..1000).prop_map(|top_k| SelectionPolicy::Disagreement { top_k }),
+        (1usize..1000).prop_map(|top_k| SelectionPolicy::Uniform { top_k }),
+    ]
+}
+
+fn budget_strategy() -> impl Strategy<Value = MeasurementBudget> {
+    let opt_u64 = || prop_oneof![Just(None), (0u64..u64::MAX).prop_map(Some)];
+    (opt_u64(), opt_u64()).prop_map(|(max_measurements, time_ns)| MeasurementBudget {
+        max_measurements,
+        max_measurement_time: time_ns.map(Duration::from_nanos),
+    })
+}
+
+fn rounds_strategy() -> impl Strategy<Value = Vec<RoundStats>> {
+    collection::vec(
+        (
+            0u64..1_000_000,
+            0u64..1_000_000,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            float_strategy(),
+        ),
+        0..5,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(
+                |(i, (submitted, performed, time_ns, cumulative, training_error))| RoundStats {
+                    round: i as u32,
+                    experiments_submitted: submitted,
+                    measurements_performed: performed,
+                    measurement_time: Duration::from_nanos(time_ns),
+                    cumulative_measurements: cumulative,
+                    training_error,
+                },
+            )
+            .collect()
+    })
+}
+
 fn report_strategy() -> impl Strategy<Value = SessionReport> {
     let head = (
         label_strategy(),
@@ -139,18 +183,27 @@ fn report_strategy() -> impl Strategy<Value = SessionReport> {
         accuracy_strategy(),
         mapping_strategy(),
     );
-    (head, counts, times, metrics).prop_map(
+    let budgeting = (
+        selection_strategy(),
+        budget_strategy(),
+        rounds_strategy(),
+        collection::vec(float_strategy(), 0..5),
+    );
+    (head, counts, times, metrics, budgeting).prop_map(
         |(
             (label, platform, backend, algorithm, seed),
             (num_insts, num_ports, num_experiments, measurements_performed),
             (bench_ns, infer_ns),
             (congruent_fraction, num_classes, training_error, accuracy, mapping),
+            (selection, budget, rounds, accuracy_trajectory),
         )| SessionReport {
             label,
             platform,
             backend,
             algorithm,
             seed,
+            selection,
+            budget,
             num_insts,
             num_ports,
             num_experiments,
@@ -160,7 +213,9 @@ fn report_strategy() -> impl Strategy<Value = SessionReport> {
             congruent_fraction,
             num_classes,
             training_error,
+            rounds,
             accuracy,
+            accuracy_trajectory,
             mapping,
         },
     )
@@ -203,22 +258,48 @@ fn session_report_rejects_malformed_json() {
 
 // --- Service::run_many determinism ----------------------------------
 
+/// An adaptive (round-based, budget-capped) sibling of [`toy_session`],
+/// so the worker-count-independence contract covers the interleaved
+/// measure→evolve pipeline too.
+fn toy_adaptive_session(seed: u64) -> Session {
+    Session::builder()
+        .platform(toy_platform())
+        .measure_config(MeasureConfig::exact())
+        .seed(seed)
+        .selection(SelectionPolicy::Disagreement { top_k: 3 })
+        .budget(MeasurementBudget::measurements(14))
+        .population(40)
+        .max_generations(5)
+        .accuracy_benchmarks(16)
+        .benchmark_size(3)
+        .build()
+        .expect("toy adaptive session configuration is valid")
+}
+
 /// The acceptance criterion of the session API: with fixed per-job
 /// seeds, `run_many` produces bit-identical reports (up to wall-clock
-/// timings) for every worker-thread count.
+/// timings) for every worker-thread count — one-shot and adaptive
+/// sessions alike.
 #[test]
 fn run_many_is_worker_count_independent() {
     let seeds = [11u64, 12, 13];
+    let jobs = || -> Vec<Session> {
+        let mut jobs: Vec<Session> = seeds.iter().map(|&s| toy_session(s)).collect();
+        jobs.push(toy_adaptive_session(17));
+        jobs
+    };
     let reference: Vec<String> = Service::new(1)
-        .run_many(seeds.iter().map(|&s| toy_session(s)).collect())
+        .run_many(jobs())
         .iter()
         .map(|r| r.without_timings().to_json())
         .collect();
     // Different seeds genuinely produce different sessions.
     assert_ne!(reference[0], reference[1]);
+    // The adaptive job really ran in rounds.
+    assert!(reference[3].contains("\"round\":1"));
     for workers in [2, 8] {
         let got: Vec<String> = Service::new(workers)
-            .run_many(seeds.iter().map(|&s| toy_session(s)).collect())
+            .run_many(jobs())
             .iter()
             .map(|r| r.without_timings().to_json())
             .collect();
@@ -295,6 +376,70 @@ fn replayed_session_reproduces_the_simulator_session() {
     assert!(report.platform.is_none());
     assert!(report.accuracy.is_none(), "no platform, no ground-truth accuracy");
     assert!(report.backend.contains("replay"));
+}
+
+/// A recorded *adaptive* run replays identically: the round-based
+/// scheduler decides what to measure from what it has measured, so a
+/// `ReplayBackend` holding the recording must drive it through the
+/// exact same rounds to the exact same report (timings aside).
+#[test]
+fn replayed_adaptive_session_reproduces_the_live_session() {
+    let platform = toy_platform();
+    let selection = SelectionPolicy::Disagreement { top_k: 3 };
+    let budget = MeasurementBudget::measurements(14);
+    let config = PipelineConfig {
+        selection,
+        budget,
+        evo: EvoConfig {
+            population_size: 40,
+            max_generations: 6,
+            num_threads: 2,
+            seed: 27,
+            ..EvoConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+
+    // Live adaptive run against the simulator, recording everything.
+    let mut recording =
+        CachingBackend::new(SimBackend::new(platform.clone(), MeasureConfig::exact()));
+    let live = pmevo::evo::run(
+        platform.isa().len(),
+        platform.num_ports(),
+        &mut recording,
+        &config,
+    );
+    assert!(live.rounds.len() > 1, "expected a multi-round live run");
+    let artifact = pmevo::core::measurements_to_json(&recording.measurements());
+
+    // Replayed run: same configuration, no simulator access at all.
+    let replay = ReplayBackend::from_json(&artifact).expect("artifact parses");
+    let report = Session::builder()
+        .universe(platform.isa().len(), platform.num_ports())
+        .backend(replay)
+        .algorithm(PmEvoAlgorithm::new(config))
+        .selection(selection)
+        .budget(budget)
+        .seed(27)
+        .build()
+        .expect("replay session configuration is valid")
+        .run();
+
+    assert_eq!(report.mapping, live.mapping);
+    assert_eq!(report.num_experiments, live.num_experiments);
+    assert_eq!(report.measurements_performed, live.measurements_performed);
+    assert_eq!(report.rounds.len(), live.rounds.len());
+    for (replayed, lived) in report.rounds.iter().zip(&live.rounds) {
+        assert_eq!(replayed.without_timing(), lived.without_timing());
+    }
+    assert_eq!(report.selection, selection);
+    assert_eq!(report.budget, budget);
+    // The report (budget/round fields included) JSON round-trips
+    // bit-exactly, compact and pretty.
+    let compact = SessionReport::from_json(&report.to_json()).expect("compact JSON parses");
+    assert_eq!(compact, report);
+    let pretty = SessionReport::from_json(&report.to_json_pretty()).expect("pretty JSON parses");
+    assert_eq!(pretty, report);
 }
 
 /// The caching decorator keeps `measurements_performed` honest: the
