@@ -71,6 +71,42 @@ impl BackendStats {
 /// Batches are the unit of work so that backends can measure in
 /// parallel, deduplicate, or amortize fixed costs; callers should prefer
 /// one large batch over many small ones.
+///
+/// # Example
+///
+/// A custom backend is a dozen lines — answer batches from whatever
+/// machine or model you have, and keep the three [`BackendStats`]
+/// counters honest (here: a "machine" that executes strictly serially,
+/// one instruction per cycle):
+///
+/// ```
+/// use pmevo_core::{BackendStats, Experiment, InstId, MeasurementBackend};
+///
+/// #[derive(Default)]
+/// struct SerialMachine {
+///     stats: BackendStats,
+/// }
+///
+/// impl MeasurementBackend for SerialMachine {
+///     fn measure_batch(&mut self, experiments: &[Experiment]) -> Vec<f64> {
+///         self.stats.measurements_requested += experiments.len() as u64;
+///         self.stats.measurements_performed += experiments.len() as u64;
+///         experiments.iter().map(|e| f64::from(e.total_insts())).collect()
+///     }
+///     fn name(&self) -> &str {
+///         "serial"
+///     }
+///     fn stats(&self) -> BackendStats {
+///         self.stats
+///     }
+/// }
+///
+/// let mut backend = SerialMachine::default();
+/// let e = Experiment::from_counts(&[(InstId(0), 2), (InstId(1), 1)]);
+/// // Measure through the checked entry point, like the algorithms do.
+/// assert_eq!(backend.measure_batch_checked(&[e]), vec![3.0]);
+/// assert_eq!(backend.stats().measurements_performed, 1);
+/// ```
 pub trait MeasurementBackend {
     /// Measures a batch of experiments, one throughput per experiment,
     /// in input order.

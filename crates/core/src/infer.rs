@@ -20,6 +20,65 @@ use std::time::Duration;
 /// Implementations decide which experiments to measure; the universe is
 /// given as dense instruction ids `0..num_insts` over `num_ports`
 /// execution ports (the backend must understand the same universe).
+///
+/// # Example
+///
+/// A minimal algorithm: measure each instruction alone and map it to
+/// ⌈throughput⌉ µops executable on every port (a crude stand-in for the
+/// `pmevo-baselines` counting algorithm), driven here through the
+/// noise-free [`crate::ModelBackend`] oracle of a known mapping:
+///
+/// ```
+/// use pmevo_core::{
+///     Experiment, InferenceAlgorithm, InferredMapping, InstId, MeasurementBackend,
+///     ModelBackend, PortSet, ThreeLevelMapping, UopEntry,
+/// };
+/// use std::time::Duration;
+///
+/// struct NaiveCounting;
+///
+/// impl InferenceAlgorithm for NaiveCounting {
+///     fn name(&self) -> &str {
+///         "naive-counting"
+///     }
+///     fn infer(
+///         &self,
+///         num_insts: usize,
+///         num_ports: usize,
+///         backend: &mut dyn MeasurementBackend,
+///     ) -> InferredMapping {
+///         let singletons: Vec<Experiment> = (0..num_insts)
+///             .map(|i| Experiment::singleton(InstId(i as u32)))
+///             .collect();
+///         let throughputs = backend.measure_batch_checked(&singletons);
+///         let everywhere = PortSet::first_n(num_ports);
+///         let decomp = throughputs
+///             .iter()
+///             .map(|t| vec![UopEntry::new(t.ceil() as u32, everywhere)])
+///             .collect();
+///         InferredMapping {
+///             algorithm: self.name().to_owned(),
+///             mapping: ThreeLevelMapping::new(num_ports, decomp),
+///             num_experiments: num_insts,
+///             measurements_performed: backend.stats().measurements_performed,
+///             benchmarking_time: backend.stats().measurement_time,
+///             inference_time: Duration::ZERO,
+///             congruent_fraction: 0.0,
+///             num_classes: num_insts,
+///             training_error: None,
+///             rounds: Vec::new(),
+///             round_mappings: Vec::new(),
+///         }
+///     }
+/// }
+///
+/// // Hidden truth: one instruction issuing 2 µops on port 0.
+/// let truth = ThreeLevelMapping::new(2, vec![vec![UopEntry::new(2, PortSet::from_ports(&[0]))]]);
+/// let mut backend = ModelBackend::new(truth);
+/// let inferred = NaiveCounting.infer(1, 2, &mut backend);
+/// assert_eq!(inferred.mapping.num_uops_of(InstId(0)), 2);
+/// assert_eq!(inferred.measurements_performed, 1);
+/// ```
 pub trait InferenceAlgorithm {
     /// A human-readable algorithm name for reports and logs.
     fn name(&self) -> &str;

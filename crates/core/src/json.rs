@@ -17,12 +17,21 @@ use std::fmt;
 /// numeric is [`Value::Num`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
+    /// JSON `null`.
     Null,
+    /// `true` or `false`.
     Bool(bool),
+    /// A non-negative integer that fits `u64`, kept exact.
     UInt(u64),
+    /// Any other number (negative, fractional, or in scientific
+    /// notation).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array of values.
     Arr(Vec<Value>),
+    /// An object as an ordered list of `(key, value)` fields —
+    /// insertion order is preserved so serialization is deterministic.
     Obj(Vec<(String, Value)>),
 }
 

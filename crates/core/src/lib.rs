@@ -37,6 +37,8 @@
 //! assert!((tp - 1.5).abs() < 1e-9);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod allocation;
 pub mod backend;
 mod bottleneck_impl;
@@ -60,7 +62,10 @@ pub use experiment::{Experiment, MeasuredExperiment};
 pub use infer::{InferenceAlgorithm, InferredMapping};
 pub use mapping::{MappingJsonError, ThreeLevelMapping, TwoLevelMapping, UopEntry};
 pub use ports::{PortId, PortSet, PortSetIter, MAX_PORTS};
-pub use predict::{prediction_agreement, MappingPredictor, ThroughputPredictor};
+pub use predict::{
+    parse_sequence, prediction_agreement, MappingPredictor, SequenceParseError,
+    ThroughputPredictor,
+};
 pub use selection::{MeasurementBudget, RoundStats, SelectionPolicy};
 
 /// The bottleneck simulation algorithm and its LP reference implementation.

@@ -1,7 +1,9 @@
-//! The throughput-predictor abstraction shared by PMEvo and all baselines.
+//! The throughput-predictor abstraction shared by PMEvo and all baselines,
+//! plus the instruction-sequence grammar of the serving layer.
 
-use crate::{Experiment, ThreeLevelMapping, ThroughputSolver, TwoLevelMapping};
+use crate::{Experiment, InstId, ThreeLevelMapping, ThroughputSolver, TwoLevelMapping};
 use std::cell::RefCell;
+use std::fmt;
 
 /// A model that predicts the steady-state throughput of an experiment.
 ///
@@ -116,6 +118,120 @@ pub fn prediction_agreement(
     sum / experiments.len() as f64
 }
 
+/// Why a line of the sequence grammar could not be parsed — see
+/// [`parse_sequence`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SequenceParseError {
+    /// The line contained no instruction terms (empty, whitespace, or a
+    /// `#` comment).
+    Empty,
+    /// A term named an instruction the resolver does not know.
+    UnknownInstruction {
+        /// The unresolved instruction name, verbatim.
+        name: String,
+    },
+    /// A term's repeat count was not a positive integer.
+    BadCount {
+        /// The offending term, verbatim.
+        term: String,
+    },
+}
+
+impl fmt::Display for SequenceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequenceParseError::Empty => write!(f, "empty instruction sequence"),
+            SequenceParseError::UnknownInstruction { name } => {
+                write!(f, "unknown instruction form {name:?}")
+            }
+            SequenceParseError::BadCount { term } => {
+                write!(f, "bad repeat count in term {term:?} (expected a positive integer)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SequenceParseError {}
+
+/// Parses one line of the asm-like sequence grammar used by the
+/// prediction-serving layer (`pmevo-predict`, `pmevo-cli predict`) into
+/// an [`Experiment`].
+///
+/// The grammar is deliberately order-free, matching the model (paper
+/// §3.1 experiments are multisets):
+///
+/// * terms are separated by `;`, `,` or newlines-within-the-line
+///   (whitespace around terms is ignored);
+/// * a term is an instruction-form name, optionally followed by a repeat
+///   count: `add_r64_r64 * 3`, `add_r64_r64 x3` or `add_r64_r64:3`;
+/// * text after `#` is a comment;
+/// * names are resolved through `resolve`, so the same parser serves any
+///   instruction universe (a platform ISA, a store shard, dense
+///   `i<N>` ids, ...).
+///
+/// Repeated mentions of the same form accumulate, exactly like
+/// [`Experiment::from_counts`].
+///
+/// # Errors
+///
+/// Returns [`SequenceParseError::Empty`] for a blank or comment-only
+/// line, and the other variants for malformed terms.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_core::{parse_sequence, Experiment, InstId};
+///
+/// let names = ["add", "mul", "store"];
+/// let resolve = |name: &str| {
+///     names.iter().position(|n| *n == name).map(|i| InstId(i as u32))
+/// };
+/// let e = parse_sequence("add; mul x2; add # a comment", resolve).unwrap();
+/// assert_eq!(e, Experiment::from_counts(&[(InstId(0), 2), (InstId(1), 2)]));
+/// ```
+pub fn parse_sequence(
+    line: &str,
+    mut resolve: impl FnMut(&str) -> Option<InstId>,
+) -> Result<Experiment, SequenceParseError> {
+    let line = line.split('#').next().unwrap_or("");
+    let mut counts: Vec<(InstId, u32)> = Vec::new();
+    for term in line.split([';', ',']) {
+        let term = term.trim();
+        if term.is_empty() {
+            continue;
+        }
+        // `name * n`, `name xN` and `name:n` all mean "n copies of name";
+        // a bare name means one copy.
+        let (name, count) = if let Some((name, n)) = term.rsplit_once(['*', ':']) {
+            (name.trim_end(), parse_count(n, term)?)
+        } else if let Some((name, x)) = term.rsplit_once(char::is_whitespace) {
+            let x = x.trim();
+            match x.strip_prefix(['x', 'X']) {
+                Some(n) if !n.is_empty() => (name.trim_end(), parse_count(n, term)?),
+                _ => return Err(SequenceParseError::BadCount { term: term.to_owned() }),
+            }
+        } else {
+            (term, 1)
+        };
+        let id = resolve(name).ok_or_else(|| SequenceParseError::UnknownInstruction {
+            name: name.to_owned(),
+        })?;
+        counts.push((id, count));
+    }
+    if counts.is_empty() {
+        return Err(SequenceParseError::Empty);
+    }
+    Ok(Experiment::from_counts(&counts))
+}
+
+fn parse_count(text: &str, term: &str) -> Result<u32, SequenceParseError> {
+    match text.trim().parse::<u32>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(SequenceParseError::BadCount { term: term.to_owned() }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +305,41 @@ mod tests {
         let a = MappingPredictor::new("a", m.clone());
         let b = MappingPredictor::new("b", m);
         prediction_agreement(&a, &b, &[]);
+    }
+
+    fn resolve_dense(name: &str) -> Option<InstId> {
+        name.strip_prefix('i')?.parse::<u32>().ok().map(InstId)
+    }
+
+    #[test]
+    fn sequence_grammar_accepts_all_count_spellings() {
+        for line in ["i0; i1*2; i1", "i0, i1 x3", "i1:2 , i1;i0", "  i0 ;i1 * 2 ; i1  "] {
+            let e = parse_sequence(line, resolve_dense).unwrap();
+            assert_eq!(e, Experiment::from_counts(&[(InstId(0), 1), (InstId(1), 3)]), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn sequence_grammar_strips_comments_and_merges_duplicates() {
+        let e = parse_sequence("i4; i4; i4 # three of the same", resolve_dense).unwrap();
+        assert_eq!(e, Experiment::from_counts(&[(InstId(4), 3)]));
+    }
+
+    #[test]
+    fn sequence_grammar_rejects_bad_lines() {
+        for line in ["", "   ", "# only a comment", "; ; ;"] {
+            assert_eq!(parse_sequence(line, resolve_dense), Err(SequenceParseError::Empty), "{line:?}");
+        }
+        assert_eq!(
+            parse_sequence("i0; nope", resolve_dense),
+            Err(SequenceParseError::UnknownInstruction { name: "nope".into() })
+        );
+        for line in ["i0 * 0", "i0:x", "i0 y3", "i0 x", "i0 *"] {
+            assert!(
+                matches!(parse_sequence(line, resolve_dense), Err(SequenceParseError::BadCount { .. })),
+                "{line:?}"
+            );
+        }
     }
 
     #[test]

@@ -602,9 +602,30 @@ pub fn tiny() -> Platform {
     )
 }
 
+/// Looks up a built-in platform by its (case-insensitive) name —
+/// `"SKL"`, `"ZEN"`, `"A72"` or `"TINY"` — the shared resolver behind
+/// every CLI `--platform` flag and the serving layer's
+/// mapping-artifact loading.
+pub fn by_name(name: &str) -> Option<Platform> {
+    match name.to_uppercase().as_str() {
+        "SKL" => Some(skl()),
+        "ZEN" => Some(zen()),
+        "A72" => Some(a72()),
+        "TINY" => Some(tiny()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn by_name_resolves_case_insensitively() {
+        assert_eq!(by_name("skl").unwrap().name(), "SKL");
+        assert_eq!(by_name("Tiny").unwrap().name(), "TINY");
+        assert!(by_name("M1").is_none());
+    }
 
     #[test]
     fn platforms_are_well_formed() {

@@ -1,0 +1,212 @@
+//! A fixed-capacity LRU map for prediction results.
+//!
+//! The serving layer's query stream is heavily skewed — compilers and
+//! superoptimizers ask about the same handful of basic blocks over and
+//! over — so a bounded least-recently-used cache in front of the solver
+//! turns the common case into a hash lookup. This implementation is the
+//! textbook intrusive design: entries live in a slab (`Vec`) threaded
+//! into a doubly-linked recency list by index, with a `HashMap` from key
+//! to slab slot, so `get`/`insert` are O(1) and eviction reuses the
+//! evicted slot instead of allocating.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used map with a fixed capacity.
+///
+/// A capacity of 0 disables the cache: every lookup misses and inserts
+/// are dropped.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_predict::LruCache;
+///
+/// let mut cache: LruCache<u32, &str> = LruCache::new(2);
+/// cache.insert(1, "one");
+/// cache.insert(2, "two");
+/// assert_eq!(cache.get(&1), Some(&"one")); // promotes 1
+/// cache.insert(3, "three");                // evicts 2, the LRU entry
+/// assert_eq!(cache.get(&2), None);
+/// assert_eq!(cache.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// The maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &slot = self.map.get(key)?;
+        self.promote(slot);
+        Some(&self.slab[slot].value)
+    }
+
+    /// Inserts or updates `key`, marking it most recently used; the
+    /// least-recently-used entry is evicted when the cache is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot].value = value;
+            self.promote(slot);
+            return;
+        }
+        let slot = if self.map.len() == self.capacity {
+            // Reuse the LRU slot for the new entry.
+            let slot = self.tail;
+            self.unlink(slot);
+            self.map.remove(&self.slab[slot].key);
+            self.slab[slot].key = key.clone();
+            self.slab[slot].value = value;
+            slot
+        } else {
+            self.slab.push(Node { key: key.clone(), value, prev: NIL, next: NIL });
+            self.slab.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    fn promote(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_lru_order() {
+        let mut c = LruCache::new(3);
+        for k in 0..3 {
+            c.insert(k, k * 10);
+        }
+        assert_eq!(c.get(&0), Some(&0)); // order now 0, 2, 1
+        c.insert(3, 30); // evicts 1
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&0), Some(&0));
+        assert_eq!(c.get(&2), Some(&20));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn update_promotes_and_replaces() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 3); // update, promotes a
+        c.insert("c", 4); // evicts b
+        assert_eq!(c.get(&"a"), Some(&3));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"c"), Some(&4));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut c = LruCache::new(0);
+        c.insert(1, 1);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn single_slot_cache_churns_correctly() {
+        let mut c = LruCache::new(1);
+        for k in 0..100 {
+            c.insert(k, k);
+            assert_eq!(c.get(&k), Some(&k));
+            assert_eq!(c.len(), 1);
+            if k > 0 {
+                assert_eq!(c.get(&(k - 1)), None);
+            }
+        }
+    }
+
+    #[test]
+    fn slab_never_exceeds_capacity() {
+        let mut c = LruCache::new(4);
+        for k in 0..1000 {
+            c.insert(k % 7, k);
+        }
+        assert!(c.len() <= 4);
+        assert!(c.slab.len() <= 4);
+    }
+}

@@ -1,0 +1,496 @@
+//! The batched prediction engine: persistent workers, compile-once
+//! batches, LRU-cached results.
+//!
+//! A [`Predictor`] answers throughput queries against the mappings of a
+//! [`MappingStore`]. Its execution path is the workspace's
+//! allocation-free solver pipeline (PR 2): a batch of sequences is
+//! compiled **once** into a [`CompiledExperiments`] (dense interning,
+//! flat rows), then evaluated by a pool of worker threads that each own
+//! a long-lived [`ThroughputSolver`] — after warm-up, serving a batch
+//! performs no per-query heap allocation inside the solver. Results are
+//! memoized in a per-mapping [`LruCache`], so the skewed query streams
+//! of real clients (compilers re-asking about hot basic blocks) short-
+//! circuit to a hash lookup.
+//!
+//! Like every parallel layer of this workspace ([`Service::run_many`],
+//! the fitness engine), the pool is **thread-count independent**: a
+//! prediction is a pure function of the sequence and the mapping bits,
+//! so results are bit-identical for every worker count and for cache
+//! hits vs misses. A property test in `tests/proptest_predict.rs`
+//! enforces this across 1/2/8 workers × cache on/off.
+//!
+//! [`Service::run_many`]: ../pmevo/struct.Service.html#method.run_many
+
+use crate::lru::LruCache;
+use crate::store::{MappingId, MappingStore};
+use pmevo_core::{
+    CompiledExperiments, Experiment, MeasuredExperiment, ThreeLevelMapping, ThroughputSolver,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Configuration of a [`Predictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// Worker threads in the persistent pool (at least 1; results do not
+    /// depend on the count).
+    pub workers: usize,
+    /// LRU result-cache capacity *per stored mapping* (0 disables
+    /// caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            cache_capacity: 1 << 16,
+        }
+    }
+}
+
+/// Cumulative serving counters of a [`Predictor`], for load reports and
+/// the `fig_predict` sweep. All counts are exact and deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictStats {
+    /// Sequences answered (hits and misses).
+    pub queries: u64,
+    /// Sequences answered from the LRU cache.
+    pub cache_hits: u64,
+    /// Batches submitted.
+    pub batches: u64,
+}
+
+impl PredictStats {
+    /// Fraction of queries answered from the cache, in `[0, 1]` (0 when
+    /// nothing was queried).
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+/// One unit of pool work: predict a contiguous slice of a compiled
+/// batch under a mapping.
+struct Job {
+    compiled: Arc<CompiledExperiments>,
+    mapping: Arc<ThreeLevelMapping>,
+    start: usize,
+    end: usize,
+    out: Sender<(usize, Vec<f64>)>,
+}
+
+fn worker_loop(jobs: Arc<Mutex<Receiver<Job>>>) {
+    // One solver per worker for the life of the pool: its scratch and
+    // loaded-mapping tables are reused across every batch it serves.
+    let mut solver = ThroughputSolver::new();
+    loop {
+        let job = jobs.lock().expect("job queue poisoned").recv();
+        let Ok(job) = job else { break };
+        solver.load_mapping(&job.compiled, &job.mapping);
+        let mut out = Vec::with_capacity(job.end - job.start);
+        for e in job.start..job.end {
+            out.push(solver.predict(&job.compiled, e));
+        }
+        if job.out.send((job.start, out)).is_err() {
+            // The requester vanished; keep serving other batches.
+            continue;
+        }
+    }
+}
+
+/// A throughput-prediction service over a [`MappingStore`]: batched,
+/// cached, thread-pooled — the paper's §6 evaluation loop turned into a
+/// serving path measured in sequences per second.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_core::{Experiment, InstId, PortSet, ThreeLevelMapping, UopEntry};
+/// use pmevo_predict::{MappingStore, Predictor, PredictorConfig};
+///
+/// let mut store = MappingStore::new();
+/// let id = store.insert(
+///     "demo",
+///     vec!["add".into(), "mul".into()],
+///     ThreeLevelMapping::new(2, vec![
+///         vec![UopEntry::new(1, PortSet::from_ports(&[0, 1]))],
+///         vec![UopEntry::new(1, PortSet::from_ports(&[0]))],
+///     ]),
+/// );
+/// let predictor = Predictor::new(store, PredictorConfig { workers: 2, cache_capacity: 64 });
+///
+/// let seqs = vec![
+///     predictor.store().get(id).parse("mul x4").unwrap(),
+///     predictor.store().get(id).parse("add; add").unwrap(),
+/// ];
+/// let cycles = predictor.predict_batch(id, &seqs);
+/// assert_eq!(cycles, vec![4.0, 1.0]);
+/// // The repeat is served from the cache.
+/// assert_eq!(predictor.predict_batch(id, &seqs[..1]), vec![4.0]);
+/// assert_eq!(predictor.stats().cache_hits, 1);
+/// ```
+pub struct Predictor {
+    store: MappingStore,
+    /// Per-mapping LRU result caches, keyed by [`MappingId`] index.
+    caches: Mutex<HashMap<u32, LruCache<Experiment, f64>>>,
+    cache_capacity: usize,
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    batches: AtomicU64,
+    jobs: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Predictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Predictor")
+            .field("mappings", &self.store.len())
+            .field("workers", &self.workers.len())
+            .field("cache_capacity", &self.cache_capacity)
+            .finish()
+    }
+}
+
+impl Predictor {
+    /// Spawns the worker pool and wraps `store` as a prediction service.
+    pub fn new(store: MappingStore, config: PredictorConfig) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(rx))
+            })
+            .collect();
+        Predictor {
+            store,
+            caches: Mutex::new(HashMap::new()),
+            cache_capacity: config.cache_capacity,
+            queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            jobs: Some(tx),
+            workers,
+        }
+    }
+
+    /// The store being served.
+    pub fn store(&self) -> &MappingStore {
+        &self.store
+    }
+
+    /// Mutable access to the store, for registering new mapping versions
+    /// into a live service (existing ids keep answering unchanged).
+    pub fn store_mut(&mut self) -> &mut MappingStore {
+        &mut self.store
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> PredictStats {
+        PredictStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Predicts the throughput (cycles per iteration, paper Definition 1)
+    /// of every sequence under the stored mapping `id`, in input order.
+    ///
+    /// Cache hits are answered inline; misses are compiled once and
+    /// fanned out over the pool. The result is bit-identical for every
+    /// worker count and cache configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this store or a sequence references an
+    /// instruction outside the mapping's universe.
+    pub fn predict_batch(&self, id: MappingId, sequences: &[Experiment]) -> Vec<f64> {
+        let stored = self.store.get(id);
+        let num_insts = stored.num_insts();
+        for e in sequences {
+            if let Some((inst, _)) = e.iter().last() {
+                assert!(
+                    inst.index() < num_insts,
+                    "sequence instruction {inst} outside mapping {} ({num_insts} instructions)",
+                    stored.label()
+                );
+            }
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(sequences.len() as u64, Ordering::Relaxed);
+
+        let mut results = vec![0.0f64; sequences.len()];
+        let mut miss_idx: Vec<usize> = Vec::new();
+        {
+            let mut caches = self.caches.lock().expect("cache poisoned");
+            let cache = caches
+                .entry(id.0)
+                .or_insert_with(|| LruCache::new(self.cache_capacity));
+            for (i, e) in sequences.iter().enumerate() {
+                match cache.get(e) {
+                    Some(&t) => results[i] = t,
+                    None => miss_idx.push(i),
+                }
+            }
+        }
+        self.cache_hits
+            .fetch_add((sequences.len() - miss_idx.len()) as u64, Ordering::Relaxed);
+        if miss_idx.is_empty() {
+            return results;
+        }
+
+        // Compile the misses once: dense interning + flat rows. The
+        // measured field is a placeholder (the compiler demands positive
+        // throughputs); prediction never reads it.
+        let compiled = Arc::new(CompiledExperiments::compile(
+            &miss_idx
+                .iter()
+                .map(|&i| MeasuredExperiment::new(sequences[i].clone(), 1.0))
+                .collect::<Vec<_>>(),
+        ));
+        let mapping = Arc::clone(stored.mapping());
+
+        let n = miss_idx.len();
+        let chunks = self.workers.len().min(n).max(1);
+        let chunk_size = n.div_ceil(chunks);
+        let (tx, rx) = channel();
+        let jobs = self.jobs.as_ref().expect("pool alive while predictor exists");
+        for c in 0..chunks {
+            let start = c * chunk_size;
+            // With `chunk_size = ceil(n / chunks)` the tail chunks can be
+            // empty (e.g. n = 5 over 4 workers): stop dispatching then.
+            if start >= n {
+                break;
+            }
+            let end = ((c + 1) * chunk_size).min(n);
+            jobs.send(Job {
+                compiled: Arc::clone(&compiled),
+                mapping: Arc::clone(&mapping),
+                start,
+                end,
+                out: tx.clone(),
+            })
+            .expect("worker pool alive");
+        }
+        drop(tx);
+
+        let mut received = 0usize;
+        for (start, values) in rx {
+            received += values.len();
+            for (k, t) in values.into_iter().enumerate() {
+                results[miss_idx[start + k]] = t;
+            }
+        }
+        assert_eq!(received, n, "a prediction worker died mid-batch");
+
+        if self.cache_capacity > 0 {
+            let mut caches = self.caches.lock().expect("cache poisoned");
+            let cache = caches
+                .entry(id.0)
+                .or_insert_with(|| LruCache::new(self.cache_capacity));
+            for &i in &miss_idx {
+                cache.insert(sequences[i].clone(), results[i]);
+            }
+        }
+        results
+    }
+
+    /// Predicts a single sequence — [`predict_batch`](Self::predict_batch)
+    /// with a batch of one.
+    pub fn predict(&self, id: MappingId, sequence: &Experiment) -> f64 {
+        self.predict_batch(id, std::slice::from_ref(sequence))[0]
+    }
+
+    /// Answers a mixed batch in which every query names its mapping,
+    /// returning throughputs in input order — the entry point for front
+    /// ends whose streams interleave platforms (the CLI's serving mode,
+    /// the `fig_predict` sweep). Queries are grouped per mapping and
+    /// each group goes through [`predict_batch`](Self::predict_batch).
+    ///
+    /// # Panics
+    ///
+    /// As for [`predict_batch`](Self::predict_batch).
+    pub fn predict_routed(&self, queries: &[(MappingId, Experiment)]) -> Vec<f64> {
+        let mut out = vec![0.0f64; queries.len()];
+        let mut ids: Vec<MappingId> = queries.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            let (slots, seqs): (Vec<usize>, Vec<Experiment>) = queries
+                .iter()
+                .enumerate()
+                .filter(|(_, (gid, _))| *gid == id)
+                .map(|(slot, (_, e))| (slot, e.clone()))
+                .unzip();
+            for (slot, t) in slots.into_iter().zip(self.predict_batch(id, &seqs)) {
+                out[slot] = t;
+            }
+        }
+        out
+    }
+}
+
+impl Drop for Predictor {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker loop; join so no thread
+        // outlives the service.
+        drop(self.jobs.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmevo_core::{InstId, PortSet, UopEntry};
+
+    fn demo_store() -> (MappingStore, MappingId) {
+        let mut store = MappingStore::new();
+        let id = store.insert(
+            "demo",
+            vec!["add".into(), "mul".into(), "store".into()],
+            ThreeLevelMapping::new(
+                3,
+                vec![
+                    vec![UopEntry::new(1, PortSet::from_ports(&[0, 1]))],
+                    vec![UopEntry::new(1, PortSet::from_ports(&[0]))],
+                    vec![UopEntry::new(1, PortSet::from_ports(&[2]))],
+                ],
+            ),
+        );
+        (store, id)
+    }
+
+    fn demo_sequences() -> Vec<Experiment> {
+        vec![
+            Experiment::from_counts(&[(InstId(0), 2), (InstId(1), 1)]),
+            Experiment::singleton(InstId(1)),
+            Experiment::from_counts(&[(InstId(0), 2), (InstId(1), 1)]), // duplicate of [0]
+            Experiment::from_counts(&[(InstId(2), 5)]),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_reference_throughput_bitwise() {
+        let (store, id) = demo_store();
+        let mapping = Arc::clone(store.get(id).mapping());
+        let predictor = Predictor::new(store, PredictorConfig { workers: 3, cache_capacity: 8 });
+        let seqs = demo_sequences();
+        let got = predictor.predict_batch(id, &seqs);
+        for (e, t) in seqs.iter().zip(&got) {
+            assert_eq!(t.to_bits(), mapping.throughput(e).to_bits(), "mismatch on {e}");
+        }
+    }
+
+    #[test]
+    fn cache_hits_are_counted_and_bit_identical() {
+        let (store, id) = demo_store();
+        let predictor = Predictor::new(store, PredictorConfig { workers: 2, cache_capacity: 8 });
+        let seqs = demo_sequences();
+        let first = predictor.predict_batch(id, &seqs);
+        // In-batch duplicates are both misses (4 queries, 0 hits).
+        assert_eq!(predictor.stats().queries, 4);
+        assert_eq!(predictor.stats().cache_hits, 0);
+        let second = predictor.predict_batch(id, &seqs);
+        assert_eq!(predictor.stats().cache_hits, 4);
+        assert_eq!(predictor.stats().batches, 2);
+        let bits = |v: &[f64]| v.iter().map(|t| t.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&first), bits(&second));
+        assert!((predictor.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_off_still_answers_identically() {
+        let (store, id) = demo_store();
+        let cached = Predictor::new(store, PredictorConfig { workers: 1, cache_capacity: 8 });
+        let (store2, id2) = demo_store();
+        let uncached = Predictor::new(store2, PredictorConfig { workers: 1, cache_capacity: 0 });
+        let seqs = demo_sequences();
+        let a = cached.predict_batch(id, &seqs);
+        let b = uncached.predict_batch(id2, &seqs);
+        assert_eq!(
+            a.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(uncached.stats().cache_hits, 0);
+        let again = uncached.predict_batch(id2, &seqs);
+        assert_eq!(uncached.stats().cache_hits, 0);
+        assert_eq!(again[0].to_bits(), a[0].to_bits());
+    }
+
+    #[test]
+    fn routed_batches_interleave_mappings_in_input_order() {
+        let (mut store, a) = demo_store();
+        let b = store.insert(
+            "other",
+            vec!["x".into()],
+            ThreeLevelMapping::new(1, vec![vec![UopEntry::new(3, PortSet::from_ports(&[0]))]]),
+        );
+        let predictor = Predictor::new(store, PredictorConfig { workers: 2, cache_capacity: 8 });
+        let queries = vec![
+            (a, Experiment::singleton(InstId(1))),           // mul on port 0 → 1.0
+            (b, Experiment::singleton(InstId(0))),           // 3 µops on 1 port → 3.0
+            (a, Experiment::from_counts(&[(InstId(2), 4)])), // 4 stores on port 2 → 4.0
+        ];
+        assert_eq!(predictor.predict_routed(&queries), vec![1.0, 3.0, 4.0]);
+        assert_eq!(predictor.predict_routed(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn single_query_and_empty_batch() {
+        let (store, id) = demo_store();
+        let predictor = Predictor::new(store, PredictorConfig::default());
+        assert_eq!(predictor.predict(id, &Experiment::singleton(InstId(1))), 1.0);
+        assert_eq!(predictor.predict_batch(id, &[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mapping")]
+    fn out_of_universe_sequences_are_rejected_up_front() {
+        let (store, id) = demo_store();
+        let predictor = Predictor::new(store, PredictorConfig { workers: 1, cache_capacity: 0 });
+        predictor.predict(id, &Experiment::singleton(InstId(40)));
+    }
+
+    #[test]
+    fn batches_slightly_larger_than_the_pool_complete() {
+        // Regression: with ceil-sized chunks a 5-miss batch over 4
+        // workers produces an empty tail chunk, which must not be
+        // dispatched (it used to underflow `end - start`).
+        let (store, id) = demo_store();
+        let predictor = Predictor::new(store, PredictorConfig { workers: 4, cache_capacity: 0 });
+        for n in 1..=9u32 {
+            let seqs: Vec<Experiment> = (0..n)
+                .map(|k| Experiment::from_counts(&[(InstId(k % 3), k + 1)]))
+                .collect();
+            assert_eq!(predictor.predict_batch(id, &seqs).len(), seqs.len());
+        }
+    }
+
+    #[test]
+    fn batches_larger_than_the_pool_complete() {
+        let (store, id) = demo_store();
+        let predictor = Predictor::new(store, PredictorConfig { workers: 2, cache_capacity: 0 });
+        let seqs: Vec<Experiment> = (0..257u32)
+            .map(|k| Experiment::from_counts(&[(InstId(k % 3), 1 + k % 5)]))
+            .collect();
+        let got = predictor.predict_batch(id, &seqs);
+        assert_eq!(got.len(), 257);
+        assert!(got.iter().all(|t| *t > 0.0));
+    }
+}

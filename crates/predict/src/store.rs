@@ -1,0 +1,395 @@
+//! The versioned mapping store behind the serving layer.
+//!
+//! A serving process holds the inferred port mappings of every machine
+//! it answers for — typically one mapping per platform, re-inferred and
+//! re-deployed as measurement campaigns improve them. [`MappingStore`]
+//! models exactly that: mappings are registered under a *name* (the
+//! platform), every registration gets a monotonically increasing
+//! *version*, and queries address either an exact
+//! [`MappingId`] or the latest version of a name. Nothing is ever
+//! mutated in place, so an id handed to a client stays valid (and keeps
+//! answering with the same mapping bits) across deployments of newer
+//! versions.
+//!
+//! Each stored mapping carries its instruction-name table **sharded by
+//! instruction**: names are distributed over [`NUM_SHARDS`] sorted runs
+//! by a deterministic FNV-1a hash, so resolving a mnemonic against a
+//! several-hundred-form ISA binary-searches a run of a few dozen entries
+//! instead of one big table — the lookup path that every parsed
+//! sequence term takes stays within a couple of cache lines.
+
+use pmevo_core::json::{self, Value};
+use pmevo_core::{
+    parse_sequence, Experiment, InstId, MappingJsonError, SequenceParseError, ThreeLevelMapping,
+};
+use std::fmt;
+use std::sync::Arc;
+
+/// Number of instruction-name shards per stored mapping.
+pub const NUM_SHARDS: usize = 16;
+
+/// FNV-1a, the shard hash: stable across runs, platforms and Rust
+/// versions (unlike `std`'s `RandomState`), so shard layout — and with
+/// it any layout-dependent iteration — is deterministic.
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % NUM_SHARDS as u64) as usize
+}
+
+/// A handle to one immutable entry of a [`MappingStore`].
+///
+/// Ids are dense indices in registration order; they never dangle and
+/// never change meaning for the lifetime of the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MappingId(pub u32);
+
+impl MappingId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MappingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One immutable mapping registered in a [`MappingStore`]: the mapping
+/// itself, its name/version identity, and the sharded instruction-name
+/// index used to resolve sequence terms.
+#[derive(Debug)]
+pub struct StoredMapping {
+    name: String,
+    version: u32,
+    mapping: Arc<ThreeLevelMapping>,
+    /// Instruction names, indexed by `InstId`.
+    inst_names: Vec<String>,
+    /// Sharded name → id index: `shards[shard_of(name)]` is sorted by
+    /// name for binary search.
+    shards: [Vec<(String, InstId)>; NUM_SHARDS],
+}
+
+impl StoredMapping {
+    fn build(name: String, version: u32, inst_names: Vec<String>, mapping: ThreeLevelMapping) -> Self {
+        assert_eq!(
+            inst_names.len(),
+            mapping.num_insts(),
+            "instruction-name table ({} names) does not match the mapping ({} instructions)",
+            inst_names.len(),
+            mapping.num_insts()
+        );
+        let mut shards: [Vec<(String, InstId)>; NUM_SHARDS] = Default::default();
+        for (i, n) in inst_names.iter().enumerate() {
+            shards[shard_of(n)].push((n.clone(), InstId(i as u32)));
+        }
+        for shard in &mut shards {
+            shard.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        }
+        StoredMapping { name, version, mapping: Arc::new(mapping), inst_names, shards }
+    }
+
+    /// The name the mapping was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The 1-based version among same-name registrations.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The `name@version` label used in serving output.
+    pub fn label(&self) -> String {
+        format!("{}@{}", self.name, self.version)
+    }
+
+    /// The stored mapping (shared, so worker pools can borrow it without
+    /// copying the decomposition tables).
+    pub fn mapping(&self) -> &Arc<ThreeLevelMapping> {
+        &self.mapping
+    }
+
+    /// Number of instructions the mapping covers.
+    pub fn num_insts(&self) -> usize {
+        self.mapping.num_insts()
+    }
+
+    /// Number of execution ports of the mapped machine.
+    pub fn num_ports(&self) -> usize {
+        self.mapping.num_ports()
+    }
+
+    /// The instruction names, indexed by [`InstId`].
+    pub fn inst_names(&self) -> &[String] {
+        &self.inst_names
+    }
+
+    /// Resolves an instruction name through the sharded index.
+    pub fn resolve(&self, inst_name: &str) -> Option<InstId> {
+        let shard = &self.shards[shard_of(inst_name)];
+        shard
+            .binary_search_by(|(n, _)| n.as_str().cmp(inst_name))
+            .ok()
+            .map(|idx| shard[idx].1)
+    }
+
+    /// Parses one line of the sequence grammar
+    /// ([`pmevo_core::parse_sequence`]) against this mapping's
+    /// instruction names.
+    ///
+    /// # Errors
+    ///
+    /// See [`SequenceParseError`].
+    pub fn parse(&self, line: &str) -> Result<Experiment, SequenceParseError> {
+        parse_sequence(line, |name| self.resolve(name))
+    }
+}
+
+/// The versioned, shard-by-instruction store of inferred mappings a
+/// prediction service answers from.
+///
+/// # Example
+///
+/// Register two versions of a platform's mapping and resolve sequence
+/// terms against the newest one:
+///
+/// ```
+/// use pmevo_core::{PortSet, ThreeLevelMapping, UopEntry};
+/// use pmevo_predict::MappingStore;
+///
+/// let uop = |ports: &[usize]| vec![UopEntry::new(1, PortSet::from_ports(ports))];
+/// let names = || vec!["add".to_string(), "mul".to_string()];
+///
+/// let mut store = MappingStore::new();
+/// let v1 = store.insert("SKL", names(), ThreeLevelMapping::new(2, vec![uop(&[0]), uop(&[1])]));
+/// let v2 = store.insert("SKL", names(), ThreeLevelMapping::new(2, vec![uop(&[0, 1]), uop(&[1])]));
+/// assert_eq!(store.latest("SKL"), Some(v2));
+/// assert_ne!(v1, v2);
+///
+/// let skl = store.get(v2);
+/// assert_eq!(skl.label(), "SKL@2");
+/// let seq = skl.parse("add; mul x2").unwrap();
+/// assert_eq!(seq.total_insts(), 3);
+/// // The superseded version stays addressable — ids never dangle.
+/// assert_eq!(store.get(v1).label(), "SKL@1");
+/// ```
+#[derive(Debug, Default)]
+pub struct MappingStore {
+    entries: Vec<StoredMapping>,
+}
+
+impl MappingStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MappingStore::default()
+    }
+
+    /// Registers a mapping under `name` with its instruction-name table,
+    /// returning the id of the new entry. The entry's version is one
+    /// more than the newest same-name entry (starting at 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst_names` does not have exactly one name per mapping
+    /// instruction.
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        inst_names: Vec<String>,
+        mapping: ThreeLevelMapping,
+    ) -> MappingId {
+        let name = name.into();
+        let version = self
+            .entries
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.version)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        self.entries.push(StoredMapping::build(name, version, inst_names, mapping));
+        MappingId((self.entries.len() - 1) as u32)
+    }
+
+    /// Registers a mapping from its JSON artifact (the format written by
+    /// `pmevo-cli infer` and the bench harness cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns the artifact's parse failure; see [`MappingJsonError`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`insert`](Self::insert).
+    pub fn load_artifact(
+        &mut self,
+        name: impl Into<String>,
+        inst_names: Vec<String>,
+        artifact_json: &str,
+    ) -> Result<MappingId, MappingJsonError> {
+        let mapping = ThreeLevelMapping::from_json(artifact_json)?;
+        Ok(self.insert(name, inst_names, mapping))
+    }
+
+    /// The entry behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this store.
+    pub fn get(&self, id: MappingId) -> &StoredMapping {
+        &self.entries[id.index()]
+    }
+
+    /// The id of the newest entry registered under `name`.
+    pub fn latest(&self, name: &str) -> Option<MappingId> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.name == name)
+            .max_by_key(|(_, e)| e.version)
+            .map(|(i, _)| MappingId(i as u32))
+    }
+
+    /// The id of the entry registered under `name` with exactly
+    /// `version`.
+    pub fn lookup(&self, name: &str, version: u32) -> Option<MappingId> {
+        self.entries
+            .iter()
+            .position(|e| e.name == name && e.version == version)
+            .map(|i| MappingId(i as u32))
+    }
+
+    /// All entry ids, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = MappingId> {
+        (0..self.entries.len() as u32).map(MappingId)
+    }
+
+    /// Number of stored entries (all versions counted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A JSON inventory of the store (labels, shapes — no decomposition
+    /// payload), for a serving process's introspection endpoint.
+    pub fn inventory_json(&self) -> String {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                Value::Obj(vec![
+                    ("name".into(), Value::Str(e.name.clone())),
+                    ("version".into(), Value::UInt(u64::from(e.version))),
+                    ("num_insts".into(), Value::UInt(e.num_insts() as u64)),
+                    ("num_ports".into(), Value::UInt(e.num_ports() as u64)),
+                ])
+            })
+            .collect();
+        json::write_compact(&Value::Obj(vec![("mappings".into(), Value::Arr(entries))]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmevo_core::{PortSet, UopEntry};
+
+    fn mapping(num_ports: usize, ports: &[&[usize]]) -> ThreeLevelMapping {
+        ThreeLevelMapping::new(
+            num_ports,
+            ports
+                .iter()
+                .map(|ps| vec![UopEntry::new(1, PortSet::from_ports(ps))])
+                .collect(),
+        )
+    }
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("inst_{i}")).collect()
+    }
+
+    #[test]
+    fn versions_increase_per_name_and_ids_stay_valid() {
+        let mut store = MappingStore::new();
+        let a1 = store.insert("A", names(1), mapping(1, &[&[0]]));
+        let b1 = store.insert("B", names(1), mapping(2, &[&[1]]));
+        let a2 = store.insert("A", names(1), mapping(1, &[&[0]]));
+        assert_eq!(store.get(a1).label(), "A@1");
+        assert_eq!(store.get(b1).label(), "B@1");
+        assert_eq!(store.get(a2).label(), "A@2");
+        assert_eq!(store.latest("A"), Some(a2));
+        assert_eq!(store.latest("B"), Some(b1));
+        assert_eq!(store.latest("C"), None);
+        assert_eq!(store.lookup("A", 1), Some(a1));
+        assert_eq!(store.lookup("A", 3), None);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.ids().count(), 3);
+    }
+
+    #[test]
+    fn sharded_resolution_finds_every_name_and_only_those() {
+        let n = 100;
+        let mut store = MappingStore::new();
+        let ports: Vec<&[usize]> = (0..n).map(|_| &[0usize][..]).collect();
+        let id = store.insert("big", names(n), mapping(1, &ports));
+        let stored = store.get(id);
+        for i in 0..n {
+            assert_eq!(stored.resolve(&format!("inst_{i}")), Some(InstId(i as u32)));
+        }
+        assert_eq!(stored.resolve("inst_100"), None);
+        assert_eq!(stored.resolve(""), None);
+        // Every name landed in exactly one shard.
+        let total: usize = stored.shards.iter().map(Vec::len).sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn parse_resolves_through_the_store_entry() {
+        let mut store = MappingStore::new();
+        let id = store.insert("P", names(3), mapping(2, &[&[0], &[1], &[0, 1]]));
+        let e = store.get(id).parse("inst_2 x2; inst_0").unwrap();
+        assert_eq!(e.count_of(InstId(2)), 2);
+        assert_eq!(e.count_of(InstId(0)), 1);
+        assert!(matches!(
+            store.get(id).parse("inst_9"),
+            Err(SequenceParseError::UnknownInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn artifact_roundtrip_loads() {
+        let m = mapping(3, &[&[0, 2], &[1]]);
+        let mut store = MappingStore::new();
+        let id = store.load_artifact("rt", names(2), &m.to_json()).unwrap();
+        assert_eq!(*store.get(id).mapping().as_ref(), m);
+        assert!(store.load_artifact("rt", names(2), "{not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the mapping")]
+    fn name_table_shape_is_enforced() {
+        MappingStore::new().insert("bad", names(1), mapping(1, &[&[0], &[0]]));
+    }
+
+    #[test]
+    fn inventory_lists_every_entry() {
+        let mut store = MappingStore::new();
+        store.insert("A", names(1), mapping(2, &[&[0]]));
+        store.insert("A", names(1), mapping(2, &[&[1]]));
+        let inv = store.inventory_json();
+        let doc = json::parse(&inv).unwrap();
+        let arr = doc.get("mappings").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[1].get("version").and_then(Value::as_u64), Some(2));
+    }
+}

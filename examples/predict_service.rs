@@ -1,0 +1,74 @@
+//! The serving path end to end: infer a mapping, stand up a
+//! [`pmevo::predict::Predictor`] over it, and answer batched basic-block
+//! throughput queries.
+//!
+//! Run with: `cargo run --release --example predict_service`
+//!
+//! Two mappings end up in the store — the one a `Session` just inferred
+//! for the TINY machine (via the [`SessionReport::predictor`] facade)
+//! and the SKL ground truth registered as a second platform — and a
+//! skewed query stream is served against both, demonstrating the LRU
+//! cache and the bit-stable batch path.
+//!
+//! [`SessionReport::predictor`]: pmevo::SessionReport::predictor
+
+use pmevo::machine::platforms;
+use pmevo::predict::PredictorConfig;
+use pmevo::Session;
+
+fn main() -> Result<(), pmevo::SessionError> {
+    // 1. Infer a port mapping for the TINY machine.
+    println!("inferring a TINY mapping ...");
+    let report = Session::builder()
+        .platform(platforms::tiny())
+        .seed(11)
+        .population(60)
+        .max_generations(10)
+        .accuracy_benchmarks(32)
+        .build()?
+        .run();
+    println!("{report}\n");
+
+    // 2. Stand it up as a prediction service, then deploy a second
+    //    platform's mapping (here: the SKL ground truth, standing in for
+    //    another inference run) into the same live store.
+    let mut service =
+        report.predictor_with(PredictorConfig { workers: 2, cache_capacity: 4096 });
+    let skl = platforms::skl();
+    let skl_id = service.store_mut().insert(
+        skl.name(),
+        skl.isa().forms().iter().map(|f| f.name.clone()).collect(),
+        skl.ground_truth().clone(),
+    );
+    let tiny_id = service.store().latest("TINY").expect("registered by the facade");
+    println!("serving: {}", service.store().inventory_json());
+
+    // 3. Parse asm-like basic blocks against each mapping's namespace
+    //    and answer them in one batch per mapping.
+    let tiny_blocks = [
+        "add_r64_r64_r64 x2; mul_r64_r64_r64",
+        "load_r64_m64; store_m64_r64",
+    ];
+    let skl_blocks = ["add_r64_r64; imul_r64_r64; add_r32_r32 x2"];
+    for (id, blocks) in [(tiny_id, &tiny_blocks[..]), (skl_id, &skl_blocks[..])] {
+        let stored = service.store().get(id);
+        let seqs: Vec<_> = blocks
+            .iter()
+            .map(|b| stored.parse(b).expect("block parses"))
+            .collect();
+        for (block, cycles) in blocks.iter().zip(service.predict_batch(id, &seqs)) {
+            println!("{:8} {cycles:>6.2} cyc/iter  {block}", stored.label());
+        }
+    }
+
+    // 4. A hot block asked again is answered from the LRU cache,
+    //    bit-identically.
+    let hot = service.store().get(tiny_id).parse(tiny_blocks[0]).expect("block parses");
+    service.predict(tiny_id, &hot);
+    let stats = service.stats();
+    println!(
+        "\nserved {} queries in {} batches, {} cache hit(s)",
+        stats.queries, stats.batches, stats.cache_hits
+    );
+    Ok(())
+}

@@ -9,16 +9,24 @@
 //!   session report) as JSON;
 //! * `show --platform SKL --mapping mapping.json [--limit 20]` — render
 //!   a mapping in uops.info-style notation;
+//! * `predict --mapping SKL=skl.json [--mapping ZEN=zen.json ...]
+//!   [--jobs 4] [--cache 65536] [--batch 1024]` — the serving mode:
+//!   read line-oriented instruction sequences from stdin (optionally
+//!   prefixed `PLATFORM:`), answer each as a JSON line on stdout
+//!   through a cached, worker-pooled [`pmevo_predict::Predictor`];
 //! * `predict --platform SKL --mapping mapping.json --experiment
-//!   "add_r64_r64:2,imul_r64_r64:1"` — predict (and measure) one
-//!   experiment's throughput.
+//!   "add_r64_r64:2,imul_r64_r64:1"` — one-off mode: predict (and
+//!   measure) one experiment's throughput.
 //!
 //! Exit code 2 on usage errors.
 
 use pmevo::baselines::{CountingAlgorithm, LpAlgorithm, RandomAlgorithm};
+use pmevo::core::json::{self, Value};
 use pmevo::core::{render, Experiment, InstId, ThreeLevelMapping};
 use pmevo::machine::{platforms, MeasureConfig, Measurer, Platform};
+use pmevo::predict::{MappingId, MappingStore, Predictor, PredictorConfig};
 use pmevo::Session;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -29,6 +37,10 @@ fn usage() -> ExitCode {
          pmevo-cli infer   --platform SKL [--population 300] [--algorithm pmevo]\n\
                            [--seed N] [--out mapping.json] [--report report.json]\n\
          pmevo-cli show    --platform SKL --mapping mapping.json [--limit 20]\n\
+         pmevo-cli predict --mapping SKL=skl.json [--mapping ZEN=zen.json ...]\n\
+                           [--jobs N] [--cache N] [--batch N]\n\
+                           (streams stdin sequences like \"SKL: add_r64_r64; imul_r64_r64 x2\"\n\
+                            to JSON throughputs on stdout)\n\
          pmevo-cli predict --platform SKL --mapping mapping.json \\\n\
                            --experiment \"add_r64_r64:2,imul_r64_r64:1\""
     );
@@ -40,6 +52,15 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+fn flag_all(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
 }
 
 fn platform_from(args: &[String]) -> Result<Platform, ExitCode> {
@@ -227,7 +248,167 @@ fn cmd_show(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Loads the `--mapping` flags of serving mode into a store. Accepts
+/// `NAME=file.json` (NAME must be a built-in platform, which provides
+/// the instruction names) or a bare `file.json` with `--platform`.
+fn build_store(args: &[String]) -> Result<MappingStore, ExitCode> {
+    let mut store = MappingStore::new();
+    let specs = flag_all(args, "--mapping");
+    if specs.is_empty() {
+        eprintln!("missing --mapping NAME=file.json (or --platform P --mapping file.json)");
+        return Err(ExitCode::from(2));
+    }
+    for spec in &specs {
+        let (platform, path) = match spec.split_once('=') {
+            Some((name, path)) => match platforms::by_name(name) {
+                Some(p) => (p, path.to_owned()),
+                None => {
+                    eprintln!("unknown platform {name:?} in --mapping {spec}; expected SKL, ZEN, A72 or TINY");
+                    return Err(ExitCode::from(2));
+                }
+            },
+            None => (platform_from(args)?, spec.clone()),
+        };
+        let shaped = load_mapping(&["--mapping".to_owned(), path.clone()], &platform)?;
+        let names = platform.isa().forms().iter().map(|f| f.name.clone()).collect();
+        store.insert(platform.name(), names, shaped);
+    }
+    Ok(store)
+}
+
+/// Serving mode: stream sequences from stdin through a [`Predictor`],
+/// one JSON result line per input line, in input order.
+fn cmd_predict_stream(args: &[String]) -> ExitCode {
+    let store = match build_store(args) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    let jobs = flag(args, "--jobs")
+        .map(|v| v.parse().expect("--jobs expects a number"))
+        .unwrap_or(1);
+    let cache = flag(args, "--cache")
+        .map(|v| v.parse().expect("--cache expects a number"))
+        .unwrap_or(1 << 16);
+    let batch = flag(args, "--batch")
+        .map(|v| v.parse::<usize>().expect("--batch expects a number"))
+        .unwrap_or(1024)
+        .max(1);
+    // Unprefixed lines go to the latest version of the first-loaded
+    // name, matching how prefixed lines resolve.
+    let first_name = store.get(store.ids().next().expect("store is non-empty")).name().to_owned();
+    let default_mapping = store.latest(&first_name).expect("store is non-empty");
+    let predictor = Predictor::new(store, PredictorConfig { workers: jobs, cache_capacity: cache });
+    let labels: Vec<String> = predictor
+        .store()
+        .ids()
+        .map(|id| predictor.store().get(id).label())
+        .collect();
+
+    let stdin = std::io::stdin();
+    if std::io::IsTerminal::is_terminal(&stdin) {
+        eprintln!(
+            "reading sequences from stdin (one per line, Ctrl-D to finish); \
+             use --experiment \"form:count,...\" for a one-off prediction"
+        );
+    }
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    // One entry per pending input line: a routed sequence or a parse
+    // failure (kept in the batch so output stays strictly line-ordered).
+    enum Entry {
+        Seq(MappingId, Experiment),
+        Failed(String),
+    }
+    let mut pending: Vec<(u64, Entry)> = Vec::with_capacity(batch);
+    let mut errors = 0u64;
+    let flush = |pending: &mut Vec<(u64, Entry)>, out: &mut dyn Write| {
+        // The predictor groups the window per mapping; results come back
+        // in input order and are re-interleaved with the failed lines.
+        let (slots, queries): (Vec<usize>, Vec<(MappingId, Experiment)>) = pending
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, (_, e))| match e {
+                Entry::Seq(id, seq) => Some((slot, (*id, seq.clone()))),
+                Entry::Failed(_) => None,
+            })
+            .unzip();
+        let mut cycles: Vec<Option<f64>> = vec![None; pending.len()];
+        for (slot, t) in slots.into_iter().zip(predictor.predict_routed(&queries)) {
+            cycles[slot] = Some(t);
+        }
+        for ((line, entry), t) in pending.drain(..).zip(cycles) {
+            let record = match entry {
+                Entry::Seq(id, _) => Value::Obj(vec![
+                    ("line".into(), Value::UInt(line)),
+                    ("mapping".into(), Value::Str(labels[id.index()].clone())),
+                    ("cycles".into(), Value::Num(t.expect("every sequence predicted"))),
+                ]),
+                Entry::Failed(message) => Value::Obj(vec![
+                    ("line".into(), Value::UInt(line)),
+                    ("error".into(), Value::Str(message)),
+                ]),
+            };
+            writeln!(out, "{}", json::write_compact(&record)).expect("write stdout");
+        }
+    };
+
+    for (idx, line) in stdin.lock().lines().enumerate() {
+        let line_no = idx as u64 + 1;
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin read error at line {line_no}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // An optional `PLATFORM:` prefix routes the line to a specific
+        // stored mapping; the prefix is only consumed when it names one
+        // (case-insensitively, like every other platform lookup).
+        let route = |name: &str| {
+            let name = name.trim();
+            predictor
+                .store()
+                .latest(name)
+                .or_else(|| predictor.store().latest(&name.to_uppercase()))
+        };
+        let (id, seq_text) = match line.split_once(':') {
+            Some((name, rest)) => match route(name) {
+                Some(id) => (id, rest),
+                None => (default_mapping, line.as_str()),
+            },
+            None => (default_mapping, line.as_str()),
+        };
+        match predictor.store().get(id).parse(seq_text) {
+            Ok(e) => pending.push((line_no, Entry::Seq(id, e))),
+            Err(pmevo::core::SequenceParseError::Empty) => {} // blank/comment line
+            Err(err) => {
+                errors += 1;
+                pending.push((line_no, Entry::Failed(err.to_string())));
+            }
+        }
+        if pending.len() >= batch {
+            flush(&mut pending, &mut out);
+        }
+    }
+    flush(&mut pending, &mut out);
+    out.flush().expect("flush stdout");
+    let stats = predictor.stats();
+    eprintln!(
+        "predicted {} sequences in {} batches ({} workers, {:.1}% cache hits, {} errors)",
+        stats.queries,
+        stats.batches,
+        predictor.workers(),
+        100.0 * stats.hit_rate(),
+        errors
+    );
+    ExitCode::SUCCESS
+}
+
 fn cmd_predict(args: &[String]) -> ExitCode {
+    let Some(spec) = flag(args, "--experiment") else {
+        // No --experiment: the streaming serving mode.
+        return cmd_predict_stream(args);
+    };
     let platform = match platform_from(args) {
         Ok(p) => p,
         Err(c) => return c,
@@ -235,10 +416,6 @@ fn cmd_predict(args: &[String]) -> ExitCode {
     let mapping = match load_mapping(args, &platform) {
         Ok(m) => m,
         Err(c) => return c,
-    };
-    let Some(spec) = flag(args, "--experiment") else {
-        eprintln!("missing --experiment \"form:count,form:count\"");
-        return ExitCode::from(2);
     };
     let experiment = match parse_experiment(&platform, &spec) {
         Ok(e) => e,

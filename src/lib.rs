@@ -14,6 +14,7 @@
 //! | [`machine`] | `pmevo-machine` | cycle-level OoO simulator + measurement harness |
 //! | [`evo`] | `pmevo-evo` | experiment generation, congruence filtering, evolutionary inference |
 //! | [`baselines`] | `pmevo-baselines` | uops.info-, IACA-, llvm-mca-, Ithemal-like predictors |
+//! | [`predict`] | `pmevo-predict` | throughput-prediction serving layer: mapping store, batched cached prediction |
 //! | [`stats`] | `pmevo-stats` | MAPE/Pearson/Spearman, heat maps, tables |
 //!
 //! # Quickstart
@@ -45,7 +46,9 @@
 //!
 //! [`Service::run_many`] executes many such sessions concurrently over
 //! one worker pool, with per-job seeds and (timings aside) bit-identical
-//! reports for every worker count.
+//! reports for every worker count. [`SessionReport::predictor`] hands
+//! the inferred mapping straight to the [`predict`] serving layer for
+//! high-QPS basic-block throughput queries.
 
 pub mod session;
 
@@ -55,6 +58,7 @@ pub use pmevo_evo as evo;
 pub use pmevo_isa as isa;
 pub use pmevo_lp as lp;
 pub use pmevo_machine as machine;
+pub use pmevo_predict as predict;
 pub use pmevo_stats as stats;
 
 pub use session::{

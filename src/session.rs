@@ -463,10 +463,14 @@ pub struct AccuracyReport {
 /// The serializable outcome of one [`Session::run`]: the inferred
 /// mapping plus Table-2-style bookkeeping and the held-out accuracy.
 ///
-/// Everything except [`benchmarking_time`](Self::benchmarking_time) and
-/// [`inference_time`](Self::inference_time) is a deterministic function
-/// of the session configuration and seed; [`Self::without_timings`]
-/// strips the two wall-clock fields for bit-exact comparisons.
+/// Every field is a deterministic function of the session configuration
+/// and seed **except the wall-clock timings**, of which there are three
+/// kinds: [`benchmarking_time`](Self::benchmarking_time),
+/// [`inference_time`](Self::inference_time), and the per-round
+/// [`RoundStats::measurement_time`] entries inside
+/// [`rounds`](Self::rounds). [`Self::without_timings`] zeroes all three
+/// for bit-exact comparisons (enforced by a regression test in
+/// `tests/session_api.rs`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
     /// The session's display label.
@@ -747,6 +751,69 @@ impl SessionReport {
             accuracy_trajectory,
             mapping,
         })
+    }
+}
+
+impl SessionReport {
+    /// Turns the inferred mapping into a ready-to-serve
+    /// [`Predictor`](pmevo_predict::Predictor) — the bridge from the
+    /// inference layers to the `pmevo-predict` serving layer.
+    ///
+    /// The mapping is registered in a fresh
+    /// [`MappingStore`](pmevo_predict::MappingStore) under the
+    /// platform's name (the report label when no platform is known).
+    /// Instruction names come from the platform's ISA when the platform
+    /// is a built-in; otherwise sequences address instructions by their
+    /// dense ids (`i0`, `i1`, …).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pmevo::machine::platforms;
+    /// use pmevo::Session;
+    ///
+    /// # fn main() -> Result<(), pmevo::SessionError> {
+    /// let platform = platforms::tiny();
+    /// let report = Session::builder()
+    ///     .platform(platform)
+    ///     .seed(3)
+    ///     .population(30)
+    ///     .max_generations(2)
+    ///     .accuracy_benchmarks(0)
+    ///     .build()?
+    ///     .run();
+    /// let service = report.predictor();
+    /// let id = service.store().latest("TINY").expect("mapping registered");
+    /// let block = service.store().get(id).parse("add_r64_r64_r64 x2").unwrap();
+    /// assert!(service.predict(id, &block) > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn predictor(&self) -> pmevo_predict::Predictor {
+        self.predictor_with(pmevo_predict::PredictorConfig::default())
+    }
+
+    /// [`predictor`](Self::predictor) with an explicit worker/cache
+    /// configuration.
+    pub fn predictor_with(&self, config: pmevo_predict::PredictorConfig) -> pmevo_predict::Predictor {
+        let name = self.platform.clone().unwrap_or_else(|| self.label.clone());
+        let inst_names: Vec<String> = self
+            .platform
+            .as_deref()
+            .and_then(pmevo_machine::platform::by_name)
+            .filter(|p| p.isa().len() >= self.mapping.num_insts())
+            .map(|p| {
+                p.isa()
+                    .forms()
+                    .iter()
+                    .take(self.mapping.num_insts())
+                    .map(|f| f.name.clone())
+                    .collect()
+            })
+            .unwrap_or_else(|| (0..self.mapping.num_insts()).map(|i| format!("i{i}")).collect());
+        let mut store = pmevo_predict::MappingStore::new();
+        store.insert(name, inst_names, self.mapping.clone());
+        pmevo_predict::Predictor::new(store, config)
     }
 }
 

@@ -276,6 +276,35 @@ fn toy_adaptive_session(seed: u64) -> Session {
         .expect("toy adaptive session configuration is valid")
 }
 
+/// Regression for the `without_timings` contract: the docs promise that
+/// *all* wall-clock fields are zeroed — not just the two session totals
+/// but also every round's `measurement_time` (the PR-4 round fields
+/// were once missing from the struct-level docs).
+#[test]
+fn without_timings_zeroes_every_wall_clock_field() {
+    let report = toy_adaptive_session(23).run();
+    assert!(report.rounds.len() > 1, "adaptive session reports rounds");
+    let stripped = report.without_timings();
+    assert_eq!(stripped.benchmarking_time, Duration::ZERO);
+    assert_eq!(stripped.inference_time, Duration::ZERO);
+    assert!(stripped.rounds.iter().all(|r| r.measurement_time == Duration::ZERO));
+    // Non-timing fields are untouched.
+    assert_eq!(stripped.rounds.len(), report.rounds.len());
+    assert_eq!(stripped.mapping, report.mapping);
+    assert_eq!(stripped.accuracy, report.accuracy);
+
+    // Two reports that differ only in wall-clock fields (of all three
+    // kinds) must become equal once stripped.
+    let mut other = report.clone();
+    other.benchmarking_time += Duration::from_millis(5);
+    other.inference_time += Duration::from_millis(7);
+    for round in &mut other.rounds {
+        round.measurement_time += Duration::from_millis(1);
+    }
+    assert_ne!(other, report);
+    assert_eq!(other.without_timings(), report.without_timings());
+}
+
 /// The acceptance criterion of the session API: with fixed per-job
 /// seeds, `run_many` produces bit-identical reports (up to wall-clock
 /// timings) for every worker-thread count — one-shot and adaptive
