@@ -63,8 +63,8 @@ pub use infer::{InferenceAlgorithm, InferredMapping};
 pub use mapping::{MappingJsonError, ThreeLevelMapping, TwoLevelMapping, UopEntry};
 pub use ports::{PortId, PortSet, PortSetIter, MAX_PORTS};
 pub use predict::{
-    parse_sequence, prediction_agreement, MappingPredictor, SequenceParseError,
-    ThroughputPredictor,
+    parse_control, parse_sequence, prediction_agreement, ControlVerb, MappingPredictor,
+    SequenceParseError, ServeRecord, ThroughputPredictor,
 };
 pub use selection::{MeasurementBudget, RoundStats, SelectionPolicy};
 

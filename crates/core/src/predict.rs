@@ -1,6 +1,8 @@
 //! The throughput-predictor abstraction shared by PMEvo and all baselines,
-//! plus the instruction-sequence grammar of the serving layer.
+//! plus the instruction-sequence grammar and wire records of the serving
+//! layer.
 
+use crate::json::{self, Value};
 use crate::{Experiment, InstId, ThreeLevelMapping, ThroughputSolver, TwoLevelMapping};
 use std::cell::RefCell;
 use std::fmt;
@@ -232,6 +234,124 @@ fn parse_count(text: &str, term: &str) -> Result<u32, SequenceParseError> {
     }
 }
 
+/// One response record of the line-oriented serving protocol.
+///
+/// Every front end that answers sequence lines — `pmevo-cli predict`
+/// offline, the `pmevo-serve` daemon over a socket — emits exactly these
+/// records, one compact JSON object per line, so a daemon's per-client
+/// response stream is **byte-identical** to the offline run of the same
+/// input lines. `line` is the client's 1-based input line number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeRecord {
+    /// A successfully predicted sequence:
+    /// `{"line":N,"mapping":"NAME@V","cycles":T}`.
+    Cycles {
+        /// 1-based input line number.
+        line: u64,
+        /// `name@version` label of the mapping that answered.
+        mapping: String,
+        /// Predicted steady-state throughput in cycles per iteration.
+        cycles: f64,
+    },
+    /// A line that could not be answered:
+    /// `{"line":N,"error":"..."}`.
+    Error {
+        /// 1-based input line number.
+        line: u64,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl ServeRecord {
+    /// The record as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let value = match self {
+            ServeRecord::Cycles { line, mapping, cycles } => Value::Obj(vec![
+                ("line".into(), Value::UInt(*line)),
+                ("mapping".into(), Value::Str(mapping.clone())),
+                ("cycles".into(), Value::Num(*cycles)),
+            ]),
+            ServeRecord::Error { line, message } => Value::Obj(vec![
+                ("line".into(), Value::UInt(*line)),
+                ("error".into(), Value::Str(message.clone())),
+            ]),
+        };
+        json::write_compact(&value)
+    }
+}
+
+/// A control verb of the serving protocol — see [`parse_control`].
+///
+/// Deliberately *not* `#[non_exhaustive]`: adding a verb must break every
+/// consumer's `match` so no front end silently ignores it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlVerb {
+    /// `!stats` — report serving counters (QPS, cache hit rate,
+    /// per-mapping query counts, live connections).
+    Stats,
+    /// `!reload NAME=file.json` — load a new version of `NAME`'s mapping
+    /// into the store and atomically swap it in; in-flight batches drain
+    /// against the old version.
+    Reload {
+        /// Platform / mapping name to register the new version under.
+        name: String,
+        /// Path (on the daemon's filesystem) of the mapping artifact.
+        path: String,
+    },
+    /// `!shutdown` — flush pending work and stop the daemon.
+    Shutdown,
+}
+
+/// Parses a control line of the serving protocol.
+///
+/// Control lines start with `!` (after optional leading whitespace); the
+/// prefix cannot collide with the sequence grammar, whose terms are
+/// instruction-form names. Returns:
+///
+/// * `None` — not a control line (feed it to the sequence path);
+/// * `Some(Ok(verb))` — a recognized [`ControlVerb`];
+/// * `Some(Err(message))` — started with `!` but is not a valid verb.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_core::{parse_control, ControlVerb};
+///
+/// assert_eq!(parse_control("add x2"), None);
+/// assert_eq!(parse_control("!stats"), Some(Ok(ControlVerb::Stats)));
+/// assert_eq!(
+///     parse_control("!reload SKL=skl_v2.json"),
+///     Some(Ok(ControlVerb::Reload { name: "SKL".into(), path: "skl_v2.json".into() }))
+/// );
+/// assert!(parse_control("!frobnicate").unwrap().is_err());
+/// ```
+pub fn parse_control(line: &str) -> Option<Result<ControlVerb, String>> {
+    let rest = line.trim_start().strip_prefix('!')?;
+    let rest = rest.trim();
+    let (verb, arg) = match rest.split_once(char::is_whitespace) {
+        Some((v, a)) => (v, a.trim()),
+        None => (rest, ""),
+    };
+    Some(match verb {
+        "stats" if arg.is_empty() => Ok(ControlVerb::Stats),
+        "shutdown" if arg.is_empty() => Ok(ControlVerb::Shutdown),
+        "reload" => match arg.split_once('=') {
+            Some((name, path)) if !name.trim().is_empty() && !path.trim().is_empty() => {
+                Ok(ControlVerb::Reload {
+                    name: name.trim().to_owned(),
+                    path: path.trim().to_owned(),
+                })
+            }
+            _ => Err("reload expects NAME=file.json".to_owned()),
+        },
+        "stats" | "shutdown" => Err(format!("{verb} takes no argument")),
+        other => Err(format!(
+            "unknown control verb {other:?} (expected stats, reload or shutdown)"
+        )),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +459,29 @@ mod tests {
                 matches!(parse_sequence(line, resolve_dense), Err(SequenceParseError::BadCount { .. })),
                 "{line:?}"
             );
+        }
+    }
+
+    #[test]
+    fn serve_records_serialize_to_the_wire_format() {
+        let ok = ServeRecord::Cycles { line: 3, mapping: "SKL@2".into(), cycles: 1.5 };
+        assert_eq!(ok.to_json_line(), r#"{"line":3,"mapping":"SKL@2","cycles":1.5}"#);
+        let err = ServeRecord::Error { line: 9, message: "unknown instruction form \"nope\"".into() };
+        assert_eq!(err.to_json_line(), r#"{"line":9,"error":"unknown instruction form \"nope\""}"#);
+    }
+
+    #[test]
+    fn control_grammar_accepts_verbs_and_rejects_noise() {
+        assert_eq!(parse_control("  !stats  "), Some(Ok(ControlVerb::Stats)));
+        assert_eq!(parse_control("!shutdown"), Some(Ok(ControlVerb::Shutdown)));
+        assert_eq!(
+            parse_control("!reload TINY = /tmp/v2.json"),
+            Some(Ok(ControlVerb::Reload { name: "TINY".into(), path: "/tmp/v2.json".into() }))
+        );
+        assert_eq!(parse_control("add x2"), None);
+        assert_eq!(parse_control(""), None);
+        for bad in ["!reload", "!reload TINY", "!reload =x.json", "!stats now", "!zap"] {
+            assert!(matches!(parse_control(bad), Some(Err(_))), "{bad:?}");
         }
     }
 

@@ -8,7 +8,10 @@
 //!
 //! * [`MappingStore`] — a versioned, shard-by-instruction store of
 //!   inferred mapping artifacts (`name@version` addressing, immutable
-//!   entries, deterministic sharded mnemonic resolution);
+//!   `Arc`-shared entries, deterministic sharded mnemonic resolution);
+//!   stores clone in O(entries) Arc bumps, which is what makes the
+//!   [`Predictor`]'s hot reload an atomic snapshot swap
+//!   ([`Predictor::insert_mapping`]);
 //! * [`Predictor`] — batched throughput queries through the
 //!   allocation-free [`pmevo_core::ThroughputSolver`] path: sequences
 //!   are compiled once ([`pmevo_core::CompiledExperiments`] interning),
@@ -36,7 +39,7 @@
 //!     ]),
 //! );
 //! let service = Predictor::new(store, PredictorConfig { workers: 2, cache_capacity: 1024 });
-//! let block = service.store().get(id).parse("add x2; mul").unwrap();
+//! let block = service.snapshot().get(id).parse("add x2; mul").unwrap();
 //! // Three µops over two ports, optimally scheduled: 1.5 cycles.
 //! assert_eq!(service.predict(id, &block), 1.5);
 //! ```

@@ -24,12 +24,13 @@
 use crate::lru::LruCache;
 use crate::store::{MappingId, MappingStore};
 use pmevo_core::{
-    CompiledExperiments, Experiment, MeasuredExperiment, ThreeLevelMapping, ThroughputSolver,
+    CompiledExperiments, Experiment, MappingJsonError, MeasuredExperiment, ThreeLevelMapping,
+    ThroughputSolver,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 /// Configuration of a [`Predictor`].
@@ -126,9 +127,10 @@ fn worker_loop(jobs: Arc<Mutex<Receiver<Job>>>) {
 /// );
 /// let predictor = Predictor::new(store, PredictorConfig { workers: 2, cache_capacity: 64 });
 ///
+/// let snapshot = predictor.snapshot();
 /// let seqs = vec![
-///     predictor.store().get(id).parse("mul x4").unwrap(),
-///     predictor.store().get(id).parse("add; add").unwrap(),
+///     snapshot.get(id).parse("mul x4").unwrap(),
+///     snapshot.get(id).parse("add; add").unwrap(),
 /// ];
 /// let cycles = predictor.predict_batch(id, &seqs);
 /// assert_eq!(cycles, vec![4.0, 1.0]);
@@ -137,13 +139,22 @@ fn worker_loop(jobs: Arc<Mutex<Receiver<Job>>>) {
 /// assert_eq!(predictor.stats().cache_hits, 1);
 /// ```
 pub struct Predictor {
-    store: MappingStore,
+    /// The serving snapshot. Readers clone the `Arc` (one refcount bump
+    /// under a read lock) and answer whole batches from that immutable
+    /// snapshot; [`insert_mapping`](Self::insert_mapping) swaps in a new
+    /// `Arc` under the write lock, so in-flight batches drain against the
+    /// store they started with.
+    store: RwLock<Arc<MappingStore>>,
     /// Per-mapping LRU result caches, keyed by [`MappingId`] index.
+    /// Ids are append-only across reloads, so cache entries survive a
+    /// snapshot swap (a new version gets a new id and a cold cache).
     caches: Mutex<HashMap<u32, LruCache<Experiment, f64>>>,
     cache_capacity: usize,
     queries: AtomicU64,
     cache_hits: AtomicU64,
     batches: AtomicU64,
+    /// Queries answered per mapping id, for the stats surface.
+    per_mapping: Mutex<HashMap<u32, u64>>,
     jobs: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -151,7 +162,7 @@ pub struct Predictor {
 impl std::fmt::Debug for Predictor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Predictor")
-            .field("mappings", &self.store.len())
+            .field("mappings", &self.snapshot().len())
             .field("workers", &self.workers.len())
             .field("cache_capacity", &self.cache_capacity)
             .finish()
@@ -170,26 +181,66 @@ impl Predictor {
             })
             .collect();
         Predictor {
-            store,
+            store: RwLock::new(Arc::new(store)),
             caches: Mutex::new(HashMap::new()),
             cache_capacity: config.cache_capacity,
             queries: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            per_mapping: Mutex::new(HashMap::new()),
             jobs: Some(tx),
             workers,
         }
     }
 
-    /// The store being served.
-    pub fn store(&self) -> &MappingStore {
-        &self.store
+    /// The current store snapshot.
+    ///
+    /// The snapshot is immutable: resolve names, parse sequences and
+    /// inspect entries against it without holding any lock. A
+    /// concurrently-arriving [`insert_mapping`](Self::insert_mapping)
+    /// does not change it — re-take a snapshot to observe new versions.
+    pub fn snapshot(&self) -> Arc<MappingStore> {
+        Arc::clone(&self.store.read().expect("store lock poisoned"))
     }
 
-    /// Mutable access to the store, for registering new mapping versions
-    /// into a live service (existing ids keep answering unchanged).
-    pub fn store_mut(&mut self) -> &mut MappingStore {
-        &mut self.store
+    /// Registers a new mapping version into the live service, atomically
+    /// swapping the store snapshot. Existing [`MappingId`]s keep
+    /// answering with the same mapping bits (ids are append-only), and
+    /// batches in flight against the previous snapshot drain unchanged;
+    /// only *new* snapshots observe the new version as `latest(name)`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`MappingStore::insert`].
+    pub fn insert_mapping(
+        &self,
+        name: impl Into<String>,
+        inst_names: Vec<String>,
+        mapping: ThreeLevelMapping,
+    ) -> MappingId {
+        let mut guard = self.store.write().expect("store lock poisoned");
+        // Clone-on-write: a handful of Arc bumps (entries are shared),
+        // then one atomic pointer swap.
+        let mut next = MappingStore::clone(&guard);
+        let id = next.insert(name, inst_names, mapping);
+        *guard = Arc::new(next);
+        id
+    }
+
+    /// [`insert_mapping`](Self::insert_mapping) from a JSON mapping
+    /// artifact — the daemon's hot-reload entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the artifact's parse failure without touching the store.
+    pub fn load_artifact(
+        &self,
+        name: impl Into<String>,
+        inst_names: Vec<String>,
+        artifact_json: &str,
+    ) -> Result<MappingId, MappingJsonError> {
+        let mapping = ThreeLevelMapping::from_json(artifact_json)?;
+        Ok(self.insert_mapping(name, inst_names, mapping))
     }
 
     /// Number of pool workers.
@@ -206,6 +257,18 @@ impl Predictor {
         }
     }
 
+    /// Queries answered per stored mapping, as `(label, count)` in id
+    /// order — the per-mapping load breakdown of the `stats` verb.
+    /// Mappings that were never queried report 0.
+    pub fn per_mapping_queries(&self) -> Vec<(String, u64)> {
+        let store = self.snapshot();
+        let counts = self.per_mapping.lock().expect("counter lock poisoned");
+        store
+            .ids()
+            .map(|id| (store.get(id).label(), counts.get(&id.0).copied().unwrap_or(0)))
+            .collect()
+    }
+
     /// Predicts the throughput (cycles per iteration, paper Definition 1)
     /// of every sequence under the stored mapping `id`, in input order.
     ///
@@ -218,7 +281,10 @@ impl Predictor {
     /// Panics if `id` is not from this store or a sequence references an
     /// instruction outside the mapping's universe.
     pub fn predict_batch(&self, id: MappingId, sequences: &[Experiment]) -> Vec<f64> {
-        let stored = self.store.get(id);
+        // Pin the batch to one snapshot: a concurrent reload swaps the
+        // store pointer but cannot touch this entry.
+        let store = self.snapshot();
+        let stored = store.get_arc(id);
         let num_insts = stored.num_insts();
         for e in sequences {
             if let Some((inst, _)) = e.iter().last() {
@@ -231,6 +297,12 @@ impl Predictor {
         }
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.queries.fetch_add(sequences.len() as u64, Ordering::Relaxed);
+        *self
+            .per_mapping
+            .lock()
+            .expect("counter lock poisoned")
+            .entry(id.0)
+            .or_insert(0) += sequences.len() as u64;
 
         let mut results = vec![0.0f64; sequences.len()];
         let mut miss_idx: Vec<usize> = Vec::new();
@@ -465,6 +537,65 @@ mod tests {
         let (store, id) = demo_store();
         let predictor = Predictor::new(store, PredictorConfig { workers: 1, cache_capacity: 0 });
         predictor.predict(id, &Experiment::singleton(InstId(40)));
+    }
+
+    #[test]
+    fn hot_reload_swaps_snapshots_and_keeps_old_ids_answering() {
+        let (store, v1) = demo_store();
+        let predictor = Predictor::new(store, PredictorConfig { workers: 2, cache_capacity: 8 });
+        let before = predictor.snapshot();
+        let add = Experiment::singleton(InstId(0));
+        let old_answer = predictor.predict(v1, &add); // add on {0,1} → 0.5
+
+        // Deploy a new version of "demo" where add is single-ported.
+        let v2 = predictor.insert_mapping(
+            "demo",
+            vec!["add".into(), "mul".into(), "store".into()],
+            ThreeLevelMapping::new(
+                3,
+                vec![
+                    vec![UopEntry::new(1, PortSet::from_ports(&[0]))],
+                    vec![UopEntry::new(1, PortSet::from_ports(&[0]))],
+                    vec![UopEntry::new(1, PortSet::from_ports(&[2]))],
+                ],
+            ),
+        );
+        // The pre-reload snapshot still routes latest → v1 (drain
+        // semantics); a fresh snapshot sees v2.
+        assert_eq!(before.latest("demo"), Some(v1));
+        let after = predictor.snapshot();
+        assert_eq!(after.latest("demo"), Some(v2));
+        assert_eq!(after.get(v2).label(), "demo@2");
+        // Both versions answer with their own bits.
+        assert_eq!(predictor.predict(v1, &add).to_bits(), old_answer.to_bits());
+        assert_eq!(predictor.predict(v2, &add), 1.0);
+    }
+
+    #[test]
+    fn load_artifact_rejects_garbage_without_touching_the_store() {
+        let (store, _) = demo_store();
+        let predictor = Predictor::new(store, PredictorConfig { workers: 1, cache_capacity: 0 });
+        let before = predictor.snapshot().len();
+        assert!(predictor.load_artifact("demo", vec!["x".into()], "{nope").is_err());
+        assert_eq!(predictor.snapshot().len(), before);
+    }
+
+    #[test]
+    fn per_mapping_counters_break_down_the_query_load() {
+        let (mut store, a) = demo_store();
+        let b = store.insert(
+            "other",
+            vec!["x".into()],
+            ThreeLevelMapping::new(1, vec![vec![UopEntry::new(1, PortSet::from_ports(&[0]))]]),
+        );
+        let predictor = Predictor::new(store, PredictorConfig { workers: 1, cache_capacity: 8 });
+        predictor.predict_batch(a, &demo_sequences());
+        predictor.predict(b, &Experiment::singleton(InstId(0)));
+        predictor.predict(b, &Experiment::singleton(InstId(0)));
+        assert_eq!(
+            predictor.per_mapping_queries(),
+            vec![("demo@1".to_string(), 4), ("other@1".to_string(), 2)]
+        );
     }
 
     #[test]

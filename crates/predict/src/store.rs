@@ -154,6 +154,14 @@ impl StoredMapping {
 /// The versioned, shard-by-instruction store of inferred mappings a
 /// prediction service answers from.
 ///
+/// Entries are stored behind [`Arc`]s, so cloning a store is a handful of
+/// reference-count bumps — that is what makes the [`Predictor`]'s hot
+/// mapping reload an atomic *snapshot swap*: the new store is an
+/// Arc-clone of the old plus one entry, and readers holding the old
+/// snapshot keep answering from it until they drop it.
+///
+/// [`Predictor`]: crate::Predictor
+///
 /// # Example
 ///
 /// Register two versions of a platform's mapping and resolve sequence
@@ -179,9 +187,9 @@ impl StoredMapping {
 /// // The superseded version stays addressable — ids never dangle.
 /// assert_eq!(store.get(v1).label(), "SKL@1");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MappingStore {
-    entries: Vec<StoredMapping>,
+    entries: Vec<Arc<StoredMapping>>,
 }
 
 impl MappingStore {
@@ -213,7 +221,7 @@ impl MappingStore {
             .max()
             .unwrap_or(0)
             + 1;
-        self.entries.push(StoredMapping::build(name, version, inst_names, mapping));
+        self.entries.push(Arc::new(StoredMapping::build(name, version, inst_names, mapping)));
         MappingId((self.entries.len() - 1) as u32)
     }
 
@@ -244,6 +252,16 @@ impl MappingStore {
     /// Panics if `id` did not come from this store.
     pub fn get(&self, id: MappingId) -> &StoredMapping {
         &self.entries[id.index()]
+    }
+
+    /// The entry behind `id`, shared — for holding a mapping across a
+    /// store snapshot swap (in-flight batches drain against it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this store.
+    pub fn get_arc(&self, id: MappingId) -> Arc<StoredMapping> {
+        Arc::clone(&self.entries[id.index()])
     }
 
     /// The id of the newest entry registered under `name`.
@@ -379,6 +397,21 @@ mod tests {
     #[should_panic(expected = "does not match the mapping")]
     fn name_table_shape_is_enforced() {
         MappingStore::new().insert("bad", names(1), mapping(1, &[&[0], &[0]]));
+    }
+
+    #[test]
+    fn clones_share_entries_and_diverge_on_insert() {
+        let mut a = MappingStore::new();
+        let v1 = a.insert("A", names(1), mapping(1, &[&[0]]));
+        let snapshot = a.clone();
+        let v2 = a.insert("A", names(1), mapping(1, &[&[0]]));
+        // The clone is an O(entries) Arc bump: same entry objects ...
+        assert!(Arc::ptr_eq(&a.get_arc(v1), &snapshot.get_arc(v1)));
+        // ... but inserts after the snapshot do not leak into it.
+        assert_eq!(a.len(), 2);
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(a.latest("A"), Some(v2));
+        assert_eq!(snapshot.latest("A"), Some(v1));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Panic-free argv helpers shared by the serving binaries.
+//!
+//! A serving binary must not abort with a backtrace on malformed flags;
+//! these helpers turn every parse failure into an `Err(String)` the
+//! caller prints alongside its usage text before exiting nonzero.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// The value following the first occurrence of `name`.
+pub fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The values following every occurrence of `name`, in order.
+pub fn flag_all(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
+}
+
+/// Parses the numeric flag `name`, falling back to `default` when the
+/// flag is absent.
+///
+/// # Errors
+///
+/// `error: --jobs expects a number, got "abc"`-style message when the
+/// value does not parse.
+pub fn num_flag<T: FromStr + Display>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("error: {name} expects a number, got {v:?}")),
+    }
+}
+
+/// [`num_flag`] for counts that must be at least 1 (worker pools, batch
+/// windows: a zero silently degenerates — e.g. `--batch 0` would make
+/// every flush threshold trivially true — so it is rejected loudly).
+///
+/// # Errors
+///
+/// As [`num_flag`], plus `error: --jobs must be at least 1, got 0`.
+pub fn positive_flag(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match num_flag(args, name, default)? {
+        0 => Err(format!("error: {name} must be at least 1, got 0")),
+        n => Ok(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_resolve_first_and_all_occurrences() {
+        let a = args(&["--mapping", "A=a.json", "--jobs", "4", "--mapping", "B=b.json"]);
+        assert_eq!(flag(&a, "--jobs").as_deref(), Some("4"));
+        assert_eq!(flag(&a, "--cache"), None);
+        assert_eq!(flag_all(&a, "--mapping"), args(&["A=a.json", "B=b.json"]));
+    }
+
+    #[test]
+    fn num_flag_defaults_parses_and_reports() {
+        let a = args(&["--jobs", "4", "--cache", "abc"]);
+        assert_eq!(num_flag(&a, "--jobs", 1usize), Ok(4));
+        assert_eq!(num_flag(&a, "--batch", 1024usize), Ok(1024));
+        assert_eq!(
+            num_flag(&a, "--cache", 0usize),
+            Err("error: --cache expects a number, got \"abc\"".to_string())
+        );
+        // A flag given as the last token has no value to parse.
+        let trailing = args(&["--jobs"]);
+        assert_eq!(num_flag(&trailing, "--jobs", 7usize), Ok(7));
+    }
+
+    #[test]
+    fn positive_flag_rejects_zero() {
+        let a = args(&["--jobs", "0", "--batch", "16"]);
+        assert_eq!(
+            positive_flag(&a, "--jobs", 1),
+            Err("error: --jobs must be at least 1, got 0".to_string())
+        );
+        assert_eq!(positive_flag(&a, "--batch", 1024), Ok(16));
+        assert_eq!(positive_flag(&a, "--inflight", 256), Ok(256));
+    }
+}

@@ -1,0 +1,134 @@
+//! `pmevo-serve` — the long-lived throughput-prediction daemon.
+//!
+//! ```text
+//! pmevo-serve --mapping TINY=tiny.json [--mapping SKL=skl.json ...]
+//!             [--tcp 127.0.0.1:7077] [--unix /tmp/pmevo.sock]
+//!             [--jobs N] [--cache N] [--max-batch N] [--max-delay-ms N]
+//!             [--inflight N]
+//! ```
+//!
+//! See the `pmevo-serve` library crate docs for the wire protocol.
+
+use pmevo_serve::flags::{flag, flag_all, num_flag, positive_flag};
+use pmevo_serve::{store_from_specs, ServeConfig, Server};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pmevo-serve --mapping NAME=file.json [--mapping ...] \
+         [--tcp ADDR] [--unix PATH]\n\
+         \n\
+         options:\n\
+         \x20 --mapping NAME=file.json  mapping artifact to serve (repeatable; required)\n\
+         \x20 --tcp ADDR                listen on a TCP address, e.g. 127.0.0.1:7077\n\
+         \x20 --unix PATH               listen on a Unix socket path\n\
+         \x20 --jobs N                  predictor worker threads (default: cores)\n\
+         \x20 --cache N                 LRU cache capacity per mapping (default 65536)\n\
+         \x20 --max-batch N             largest coalesced batch (default 1024)\n\
+         \x20 --max-delay-ms N          coalescing window in milliseconds (default 1)\n\
+         \x20 --inflight N              per-connection unanswered-line cap (default 1024)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        let _ = usage();
+        return ExitCode::SUCCESS;
+    }
+
+    let defaults = ServeConfig::default();
+    let config = match (|| -> Result<ServeConfig, String> {
+        Ok(ServeConfig {
+            workers: positive_flag(&args, "--jobs", defaults.workers)?,
+            cache_capacity: num_flag(&args, "--cache", defaults.cache_capacity)?,
+            max_batch: positive_flag(&args, "--max-batch", defaults.max_batch)?,
+            max_delay: Duration::from_millis(num_flag(&args, "--max-delay-ms", 1u64)?),
+            max_inflight: positive_flag(&args, "--inflight", defaults.max_inflight)?,
+        })
+    })() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let store = match store_from_specs(&flag_all(&args, "--mapping")) {
+        Ok(store) => store,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return usage();
+        }
+    };
+
+    let tcp_addr = flag(&args, "--tcp");
+    let unix_path = flag(&args, "--unix");
+    if tcp_addr.is_none() && unix_path.is_none() {
+        eprintln!("error: at least one of --tcp ADDR or --unix PATH is required");
+        return usage();
+    }
+
+    let server = match Server::new(store, config) {
+        Ok(server) => server,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(addr) = tcp_addr {
+        match TcpListener::bind(&addr) {
+            Ok(listener) => {
+                // Report the bound address, not the requested one, so
+                // `--tcp 127.0.0.1:0` scripts can learn the port.
+                match listener.local_addr() {
+                    Ok(local) => eprintln!("pmevo-serve: listening on tcp://{local}"),
+                    Err(_) => eprintln!("pmevo-serve: listening on tcp://{addr}"),
+                }
+                server.listen_tcp(listener);
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind tcp {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    #[cfg(unix)]
+    let unix_sock = unix_path.clone();
+    #[cfg(unix)]
+    if let Some(path) = &unix_sock {
+        // A stale socket file from a previous run would make bind fail;
+        // remove it first.
+        let _ = std::fs::remove_file(path);
+        match std::os::unix::net::UnixListener::bind(path) {
+            Ok(listener) => {
+                eprintln!("pmevo-serve: listening on unix://{path}");
+                server.listen_unix(listener);
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind unix socket {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    #[cfg(not(unix))]
+    if unix_path.is_some() {
+        eprintln!("error: --unix is only supported on Unix platforms");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!("pmevo-serve: ready ({} mappings loaded)", server.predictor().snapshot().len());
+    server.join();
+    #[cfg(unix)]
+    if let Some(path) = &unix_sock {
+        let _ = std::fs::remove_file(path);
+    }
+    eprintln!("pmevo-serve: shut down cleanly");
+    ExitCode::SUCCESS
+}

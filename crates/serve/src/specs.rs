@@ -1,0 +1,154 @@
+//! Mapping-artifact loading and line routing shared by every serving
+//! front end (`pmevo-serve`, `pmevo-cli predict`), so the daemon and the
+//! offline pipe resolve `--mapping` specs and `PLATFORM:` prefixes
+//! identically.
+
+use pmevo_core::ThreeLevelMapping;
+use pmevo_machine::{platforms, Platform};
+use pmevo_predict::{MappingId, MappingStore};
+
+/// Loads a `NAME=file.json` mapping artifact: `NAME` must be a built-in
+/// platform (it provides the instruction-name table), and the artifact's
+/// shape must match that platform's ISA and port count.
+///
+/// # Errors
+///
+/// A printable message for unknown platforms, unreadable files,
+/// unparseable artifacts and shape mismatches.
+pub fn load_platform_mapping(name: &str, path: &str) -> Result<(Platform, ThreeLevelMapping), String> {
+    let platform = platforms::by_name(name).ok_or_else(|| {
+        format!("unknown platform {name:?}; expected SKL, ZEN, A72 or TINY")
+    })?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mapping =
+        ThreeLevelMapping::from_json(&data).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    if mapping.num_insts() != platform.isa().len() || mapping.num_ports() != platform.num_ports() {
+        return Err(format!(
+            "mapping shape ({} insts, {} ports) does not match platform {} ({} insts, {} ports)",
+            mapping.num_insts(),
+            mapping.num_ports(),
+            platform.name(),
+            platform.isa().len(),
+            platform.num_ports()
+        ));
+    }
+    Ok((platform, mapping))
+}
+
+/// Builds a [`MappingStore`] from `NAME=file.json` specs (the repeated
+/// `--mapping` flags of `pmevo-serve` and `pmevo-cli predict`).
+///
+/// # Errors
+///
+/// `at least one --mapping NAME=file.json is required` for an empty spec
+/// list — a serving process with an empty store has nothing to answer
+/// from — plus every failure of [`load_platform_mapping`].
+pub fn store_from_specs(specs: &[String]) -> Result<MappingStore, String> {
+    if specs.is_empty() {
+        return Err("at least one --mapping NAME=file.json is required".to_string());
+    }
+    let mut store = MappingStore::new();
+    for spec in specs {
+        let Some((name, path)) = spec.split_once('=') else {
+            return Err(format!(
+                "--mapping {spec:?} is not of the form NAME=file.json (or pass --platform P --mapping file.json)"
+            ));
+        };
+        let (platform, mapping) = load_platform_mapping(name, path)?;
+        let inst_names = platform.isa().forms().iter().map(|f| f.name.clone()).collect();
+        store.insert(platform.name(), inst_names, mapping);
+    }
+    Ok(store)
+}
+
+/// Routes one input line to a stored mapping: a leading `PLATFORM:`
+/// prefix is consumed when (and only when) it names a stored mapping,
+/// case-insensitively; everything else goes to the latest version of
+/// `default_name`. Returns the routed id and the sequence text, or
+/// `None` when `default_name` itself is not in the store (an empty or
+/// misconfigured store — callers report it instead of panicking).
+///
+/// The `:` also spells repeat counts in the sequence grammar
+/// (`add:2`), which is why an unrecognized prefix falls back to the
+/// whole line rather than erroring.
+pub fn route_line<'a>(
+    store: &MappingStore,
+    default_name: &str,
+    line: &'a str,
+) -> Option<(MappingId, &'a str)> {
+    let lookup = |name: &str| {
+        let name = name.trim();
+        store.latest(name).or_else(|| store.latest(&name.to_uppercase()))
+    };
+    let default = lookup(default_name)?;
+    Some(match line.split_once(':') {
+        Some((name, rest)) => match lookup(name) {
+            Some(id) => (id, rest),
+            None => (default, line),
+        },
+        None => (default, line),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_require_at_least_one_mapping() {
+        let err = store_from_specs(&[]).unwrap_err();
+        assert_eq!(err, "at least one --mapping NAME=file.json is required");
+    }
+
+    #[test]
+    fn specs_reject_malformed_and_unknown_entries() {
+        assert!(store_from_specs(&["bare.json".into()]).unwrap_err().contains("NAME=file.json"));
+        assert!(
+            store_from_specs(&["M1=x.json".into()]).unwrap_err().contains("unknown platform")
+        );
+        assert!(store_from_specs(&["TINY=/definitely/not/here.json".into()])
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+
+    #[test]
+    fn specs_load_and_shape_check_real_artifacts() {
+        let dir = std::env::temp_dir().join("pmevo_serve_specs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("tiny.json");
+        std::fs::write(&good, platforms::tiny().ground_truth().to_json_pretty()).unwrap();
+        let store =
+            store_from_specs(&[format!("TINY={}", good.display())]).expect("valid artifact");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(store.latest("TINY").unwrap()).label(), "TINY@1");
+
+        // The same artifact under the wrong platform is a shape error.
+        let err = store_from_specs(&[format!("SKL={}", good.display())]).unwrap_err();
+        assert!(err.contains("does not match platform"), "{err}");
+    }
+
+    #[test]
+    fn routing_consumes_known_prefixes_only() {
+        let mut store = MappingStore::new();
+        let tiny = platforms::tiny();
+        let names: Vec<String> = tiny.isa().forms().iter().map(|f| f.name.clone()).collect();
+        let t1 = store.insert("TINY", names.clone(), tiny.ground_truth().clone());
+        let t2 = store.insert("TINY", names, tiny.ground_truth().clone());
+        let skl = platforms::skl();
+        let s1 = store.insert(
+            "SKL",
+            skl.isa().forms().iter().map(|f| f.name.clone()).collect(),
+            skl.ground_truth().clone(),
+        );
+
+        // Prefix routing, case-insensitively; latest version wins.
+        assert_eq!(route_line(&store, "TINY", "SKL: add_r64_r64"), Some((s1, " add_r64_r64")));
+        assert_eq!(route_line(&store, "TINY", "skl: add_r64_r64"), Some((s1, " add_r64_r64")));
+        assert_eq!(route_line(&store, "TINY", "TINY: x"), Some((t2, " x")));
+        assert_ne!(t1, t2);
+        // A `:` that spells a repeat count is not a route.
+        assert_eq!(route_line(&store, "TINY", "add:2"), Some((t2, "add:2")));
+        // Unrouteable default name: no panic, a None.
+        assert_eq!(route_line(&store, "M1", "add"), None);
+    }
+}

@@ -29,19 +29,21 @@ fn main() -> Result<(), pmevo::SessionError> {
         .run();
     println!("{report}\n");
 
-    // 2. Stand it up as a prediction service, then deploy a second
+    // 2. Stand it up as a prediction service, then hot-deploy a second
     //    platform's mapping (here: the SKL ground truth, standing in for
-    //    another inference run) into the same live store.
-    let mut service =
+    //    another inference run) into the live store — an atomic snapshot
+    //    swap, exactly what the `pmevo-serve` daemon's `!reload` does.
+    let service =
         report.predictor_with(PredictorConfig { workers: 2, cache_capacity: 4096 });
     let skl = platforms::skl();
-    let skl_id = service.store_mut().insert(
+    let skl_id = service.insert_mapping(
         skl.name(),
         skl.isa().forms().iter().map(|f| f.name.clone()).collect(),
         skl.ground_truth().clone(),
     );
-    let tiny_id = service.store().latest("TINY").expect("registered by the facade");
-    println!("serving: {}", service.store().inventory_json());
+    let store = service.snapshot();
+    let tiny_id = store.latest("TINY").expect("registered by the facade");
+    println!("serving: {}", store.inventory_json());
 
     // 3. Parse asm-like basic blocks against each mapping's namespace
     //    and answer them in one batch per mapping.
@@ -51,7 +53,7 @@ fn main() -> Result<(), pmevo::SessionError> {
     ];
     let skl_blocks = ["add_r64_r64; imul_r64_r64; add_r32_r32 x2"];
     for (id, blocks) in [(tiny_id, &tiny_blocks[..]), (skl_id, &skl_blocks[..])] {
-        let stored = service.store().get(id);
+        let stored = store.get(id);
         let seqs: Vec<_> = blocks
             .iter()
             .map(|b| stored.parse(b).expect("block parses"))
@@ -63,7 +65,7 @@ fn main() -> Result<(), pmevo::SessionError> {
 
     // 4. A hot block asked again is answered from the LRU cache,
     //    bit-identically.
-    let hot = service.store().get(tiny_id).parse(tiny_blocks[0]).expect("block parses");
+    let hot = store.get(tiny_id).parse(tiny_blocks[0]).expect("block parses");
     service.predict(tiny_id, &hot);
     let stats = service.stats();
     println!(

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the pmevo-serve daemon over a Unix socket:
+# two mapping versions inferred from scratch, two concurrent clients,
+# !stats, a hot !reload re-routing subsequent lines to the new version,
+# and a clean !shutdown. Prediction outputs land in $OUTDIR so a second
+# run can be cmp'd against the first (predictions are deterministic;
+# stats are not and are kept in separate files).
+#
+# usage: scripts/serve_smoke.sh [OUTDIR]
+set -euo pipefail
+
+OUTDIR="${1:-/tmp/pmevo_serve_smoke}"
+CLI="${PMEVO_CLI:-target/release/pmevo-cli}"
+SERVE="${PMEVO_SERVE:-target/release/pmevo-serve}"
+SOCK="$OUTDIR/daemon.sock"
+
+mkdir -p "$OUTDIR"
+rm -f "$SOCK"
+
+# Two artifact versions: same platform, different inference seeds.
+"$CLI" infer --platform TINY --population 40 --generations 8 --seed 1 \
+  --out "$OUTDIR/tiny_v1.json" >/dev/null
+"$CLI" infer --platform TINY --population 40 --generations 8 --seed 2 \
+  --out "$OUTDIR/tiny_v2.json" >/dev/null
+
+"$SERVE" --mapping "TINY=$OUTDIR/tiny_v1.json" --unix "$SOCK" \
+  --max-delay-ms 1 2>"$OUTDIR/daemon.log" &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "daemon socket never appeared"; cat "$OUTDIR/daemon.log"; exit 1; }
+
+# Two concurrent clients hammering the daemon with interleaved traffic.
+CLIENT_INPUT_A="$OUTDIR/input_a.txt"
+CLIENT_INPUT_B="$OUTDIR/input_b.txt"
+: >"$CLIENT_INPUT_A"; : >"$CLIENT_INPUT_B"
+for i in $(seq 40); do
+  echo "add_r64_r64_r64 x$((i % 5 + 1))" >>"$CLIENT_INPUT_A"
+  echo "TINY: mul_r64_r64_r64; add_r64_r64_r64:$((i % 3 + 1))" >>"$CLIENT_INPUT_B"
+done
+echo "not_an_instruction" >>"$CLIENT_INPUT_A"
+
+"$CLI" client --unix "$SOCK" <"$CLIENT_INPUT_A" >"$OUTDIR/client_a.out" &
+A_PID=$!
+"$CLI" client --unix "$SOCK" <"$CLIENT_INPUT_B" >"$OUTDIR/client_b.out" &
+B_PID=$!
+wait "$A_PID" "$B_PID"
+
+# Per-client responses must be byte-identical to the offline pipe.
+"$CLI" predict --mapping "TINY=$OUTDIR/tiny_v1.json" \
+  <"$CLIENT_INPUT_A" >"$OUTDIR/offline_a.out" 2>/dev/null
+"$CLI" predict --mapping "TINY=$OUTDIR/tiny_v1.json" \
+  <"$CLIENT_INPUT_B" >"$OUTDIR/offline_b.out" 2>/dev/null
+cmp "$OUTDIR/client_a.out" "$OUTDIR/offline_a.out"
+cmp "$OUTDIR/client_b.out" "$OUTDIR/offline_b.out"
+
+# Stats must see both connections and the served queries (nondeterministic
+# fields — kept out of the cmp'd prediction outputs).
+printf '!stats\n' | "$CLI" client --unix "$SOCK" >"$OUTDIR/stats.json"
+grep -q '"total_connections":3' "$OUTDIR/stats.json"
+grep -q '"mapping":"TINY@1"' "$OUTDIR/stats.json"
+
+# Hot reload: subsequent lines on the same connection route to TINY@2.
+printf '!reload TINY=%s\nadd_r64_r64_r64\n' "$OUTDIR/tiny_v2.json" |
+  "$CLI" client --unix "$SOCK" >"$OUTDIR/reload.out"
+grep -q '"reloaded":"TINY@2"' "$OUTDIR/reload.out"
+grep -q '"mapping":"TINY@2"' "$OUTDIR/reload.out"
+# The reloaded mapping answers with v2's bits (a fresh offline store
+# labels the same artifact TINY@1, so versions are normalized away).
+tail -1 "$OUTDIR/reload.out" >"$OUTDIR/reload_prediction.out"
+echo "add_r64_r64_r64" | "$CLI" predict --mapping "TINY=$OUTDIR/tiny_v2.json" 2>/dev/null \
+  | sed -e 's/"line":1/"line":2/' -e 's/"TINY@1"/"TINY@2"/' >"$OUTDIR/reload_offline.out"
+cmp "$OUTDIR/reload_prediction.out" "$OUTDIR/reload_offline.out"
+
+# Clean shutdown: the daemon acks, exits 0 and removes its socket.
+printf '!shutdown\n' | "$CLI" client --unix "$SOCK" | grep -q '"ok":"shutting down"'
+wait "$DAEMON_PID"
+trap - EXIT
+[ ! -S "$SOCK" ] || { echo "socket file survived shutdown"; exit 1; }
+
+echo "serve smoke OK ($OUTDIR)"

@@ -16,51 +16,65 @@
 //!   through a cached, worker-pooled [`pmevo_predict::Predictor`];
 //! * `predict --platform SKL --mapping mapping.json --experiment
 //!   "add_r64_r64:2,imul_r64_r64:1"` — one-off mode: predict (and
-//!   measure) one experiment's throughput.
+//!   measure) one experiment's throughput;
+//! * `client --connect HOST:PORT | --unix PATH` — pipe stdin to a
+//!   running `pmevo-serve` daemon and its responses to stdout (the
+//!   socket-framed equivalent of `predict`'s stdin/stdout pipe).
 //!
-//! Exit code 2 on usage errors.
+//! Exit code 2 on usage errors, 1 on malformed flag values and runtime
+//! failures; never a panic on the serving paths.
 
 use pmevo::baselines::{CountingAlgorithm, LpAlgorithm, RandomAlgorithm};
-use pmevo::core::json::{self, Value};
-use pmevo::core::{render, Experiment, InstId, ThreeLevelMapping};
+use pmevo::core::{render, Experiment, InstId, SequenceParseError, ServeRecord, ThreeLevelMapping};
 use pmevo::machine::{platforms, MeasureConfig, Measurer, Platform};
 use pmevo::predict::{MappingId, MappingStore, Predictor, PredictorConfig};
+use pmevo::serve::flags::{flag, flag_all, num_flag, positive_flag};
+use pmevo::serve::{route_line, store_from_specs};
 use pmevo::Session;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pmevo-cli <platforms|infer|show|predict> [flags]\n\
+        "usage: pmevo-cli <platforms|infer|show|predict|client> [flags]\n\
          \n\
          pmevo-cli platforms\n\
-         pmevo-cli infer   --platform SKL [--population 300] [--algorithm pmevo]\n\
-                           [--seed N] [--out mapping.json] [--report report.json]\n\
+         pmevo-cli infer   --platform SKL [--population 300] [--generations N]\n\
+                           [--algorithm pmevo] [--seed N] [--out mapping.json]\n\
+                           [--report report.json]\n\
          pmevo-cli show    --platform SKL --mapping mapping.json [--limit 20]\n\
          pmevo-cli predict --mapping SKL=skl.json [--mapping ZEN=zen.json ...]\n\
                            [--jobs N] [--cache N] [--batch N]\n\
                            (streams stdin sequences like \"SKL: add_r64_r64; imul_r64_r64 x2\"\n\
                             to JSON throughputs on stdout)\n\
          pmevo-cli predict --platform SKL --mapping mapping.json \\\n\
-                           --experiment \"add_r64_r64:2,imul_r64_r64:1\""
+                           --experiment \"add_r64_r64:2,imul_r64_r64:1\"\n\
+         pmevo-cli client  --connect HOST:PORT | --unix PATH\n\
+                           (pipes stdin to a pmevo-serve daemon, responses to stdout)"
     );
     ExitCode::from(2)
 }
 
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Resolves the numeric flag `name` (default `default`); on a malformed
+/// value, prints the error and the usage text and fails with exit 1.
+fn parsed_flag<T>(args: &[String], name: &str, default: T) -> Result<T, ExitCode>
+where
+    T: std::str::FromStr + std::fmt::Display,
+{
+    num_flag(args, name, default).map_err(|message| {
+        eprintln!("{message}");
+        let _ = usage();
+        ExitCode::FAILURE
+    })
 }
 
-fn flag_all(args: &[String], name: &str) -> Vec<String> {
-    args.iter()
-        .enumerate()
-        .filter(|(_, a)| *a == name)
-        .filter_map(|(i, _)| args.get(i + 1))
-        .cloned()
-        .collect()
+/// [`parsed_flag`] for counts that must be at least 1.
+fn positive_parsed_flag(args: &[String], name: &str, default: usize) -> Result<usize, ExitCode> {
+    positive_flag(args, name, default).map_err(|message| {
+        eprintln!("{message}");
+        let _ = usage();
+        ExitCode::FAILURE
+    })
 }
 
 fn platform_from(args: &[String]) -> Result<Platform, ExitCode> {
@@ -168,12 +182,18 @@ fn cmd_infer(args: &[String]) -> ExitCode {
         Ok(p) => p,
         Err(c) => return c,
     };
-    let population = flag(args, "--population")
-        .map(|v| v.parse().expect("--population expects a number"))
-        .unwrap_or(300);
-    let seed = flag(args, "--seed")
-        .map(|v| v.parse().expect("--seed expects a number"))
-        .unwrap_or(0x90AD);
+    let population = match positive_parsed_flag(args, "--population", 300) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let seed = match parsed_flag(args, "--seed", 0x90ADu64) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let generations = match parsed_flag(args, "--generations", 0u32) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
     let out = flag(args, "--out")
         .unwrap_or_else(|| format!("pmevo_{}.json", platform.name().to_lowercase()));
 
@@ -182,10 +202,13 @@ fn cmd_infer(args: &[String]) -> ExitCode {
         "inferring port mapping for {} with {algorithm} (population {population}, seed {seed}) ...",
         platform.name()
     );
-    let builder = Session::builder()
+    let mut builder = Session::builder()
         .platform(platform)
         .seed(seed)
         .population(population);
+    if generations > 0 {
+        builder = builder.max_generations(generations);
+    }
     let builder = match algorithm.as_str() {
         "pmevo" => builder,
         "counting" => builder.algorithm(CountingAlgorithm),
@@ -225,13 +248,14 @@ fn cmd_show(args: &[String]) -> ExitCode {
         Ok(p) => p,
         Err(c) => return c,
     };
+    let limit = match parsed_flag(args, "--limit", usize::MAX) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
     let mapping = match load_mapping(args, &platform) {
         Ok(m) => m,
         Err(c) => return c,
     };
-    let limit = flag(args, "--limit")
-        .map(|v| v.parse().expect("--limit expects a number"))
-        .unwrap_or(usize::MAX);
     let s = render::summary(&mapping, |i| platform.isa().form(i).name.clone());
     for (name, decomp) in s.lines().iter().take(limit) {
         println!("{name:28} {decomp}");
@@ -250,59 +274,59 @@ fn cmd_show(args: &[String]) -> ExitCode {
 
 /// Loads the `--mapping` flags of serving mode into a store. Accepts
 /// `NAME=file.json` (NAME must be a built-in platform, which provides
-/// the instruction names) or a bare `file.json` with `--platform`.
+/// the instruction names) or a bare `file.json` with `--platform`; bare
+/// specs are normalized to `NAME=path` so the daemon and the offline
+/// pipe share one loader ([`store_from_specs`]).
 fn build_store(args: &[String]) -> Result<MappingStore, ExitCode> {
-    let mut store = MappingStore::new();
-    let specs = flag_all(args, "--mapping");
-    if specs.is_empty() {
-        eprintln!("missing --mapping NAME=file.json (or --platform P --mapping file.json)");
-        return Err(ExitCode::from(2));
+    let mut specs = flag_all(args, "--mapping");
+    if specs.iter().any(|s| !s.contains('=')) {
+        let platform = platform_from(args)?;
+        for spec in &mut specs {
+            if !spec.contains('=') {
+                *spec = format!("{}={spec}", platform.name());
+            }
+        }
     }
-    for spec in &specs {
-        let (platform, path) = match spec.split_once('=') {
-            Some((name, path)) => match platforms::by_name(name) {
-                Some(p) => (p, path.to_owned()),
-                None => {
-                    eprintln!("unknown platform {name:?} in --mapping {spec}; expected SKL, ZEN, A72 or TINY");
-                    return Err(ExitCode::from(2));
-                }
-            },
-            None => (platform_from(args)?, spec.clone()),
-        };
-        let shaped = load_mapping(&["--mapping".to_owned(), path.clone()], &platform)?;
-        let names = platform.isa().forms().iter().map(|f| f.name.clone()).collect();
-        store.insert(platform.name(), names, shaped);
-    }
-    Ok(store)
+    store_from_specs(&specs).map_err(|message| {
+        eprintln!("error: {message}");
+        usage()
+    })
 }
 
 /// Serving mode: stream sequences from stdin through a [`Predictor`],
 /// one JSON result line per input line, in input order.
 fn cmd_predict_stream(args: &[String]) -> ExitCode {
+    // Flags are validated before any file is touched, so a typo'd
+    // `--jobs abc` is reported as itself, not masked by a store error.
+    let jobs = match positive_parsed_flag(args, "--jobs", 1) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let cache = match parsed_flag(args, "--cache", 1usize << 16) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    // `--batch 0` would silently turn the flush threshold into
+    // "always", so zero is rejected rather than clamped.
+    let batch = match positive_parsed_flag(args, "--batch", 1024) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
     let store = match build_store(args) {
         Ok(s) => s,
         Err(c) => return c,
     };
-    let jobs = flag(args, "--jobs")
-        .map(|v| v.parse().expect("--jobs expects a number"))
-        .unwrap_or(1);
-    let cache = flag(args, "--cache")
-        .map(|v| v.parse().expect("--cache expects a number"))
-        .unwrap_or(1 << 16);
-    let batch = flag(args, "--batch")
-        .map(|v| v.parse::<usize>().expect("--batch expects a number"))
-        .unwrap_or(1024)
-        .max(1);
     // Unprefixed lines go to the latest version of the first-loaded
-    // name, matching how prefixed lines resolve.
-    let first_name = store.get(store.ids().next().expect("store is non-empty")).name().to_owned();
-    let default_mapping = store.latest(&first_name).expect("store is non-empty");
+    // name, matching how prefixed lines resolve. `build_store` already
+    // refused an empty store, so the first id exists.
+    let Some(first_id) = store.ids().next() else {
+        eprintln!("error: at least one --mapping NAME=file.json is required");
+        return ExitCode::from(2);
+    };
+    let default_name = store.get(first_id).name().to_owned();
     let predictor = Predictor::new(store, PredictorConfig { workers: jobs, cache_capacity: cache });
-    let labels: Vec<String> = predictor
-        .store()
-        .ids()
-        .map(|id| predictor.store().get(id).label())
-        .collect();
+    let store = predictor.snapshot();
+    let labels: Vec<String> = store.ids().map(|id| store.get(id).label()).collect();
 
     let stdin = std::io::stdin();
     if std::io::IsTerminal::is_terminal(&stdin) {
@@ -337,18 +361,19 @@ fn cmd_predict_stream(args: &[String]) -> ExitCode {
             cycles[slot] = Some(t);
         }
         for ((line, entry), t) in pending.drain(..).zip(cycles) {
-            let record = match entry {
-                Entry::Seq(id, _) => Value::Obj(vec![
-                    ("line".into(), Value::UInt(line)),
-                    ("mapping".into(), Value::Str(labels[id.index()].clone())),
-                    ("cycles".into(), Value::Num(t.expect("every sequence predicted"))),
-                ]),
-                Entry::Failed(message) => Value::Obj(vec![
-                    ("line".into(), Value::UInt(line)),
-                    ("error".into(), Value::Str(message)),
-                ]),
+            let record = match (entry, t) {
+                (Entry::Seq(id, _), Some(cycles)) => {
+                    ServeRecord::Cycles { line, mapping: labels[id.index()].clone(), cycles }
+                }
+                // The predictor answers every routed query; an empty
+                // slot would be a predictor bug — report it as this
+                // line's record instead of killing the whole stream.
+                (Entry::Seq(..), None) => {
+                    ServeRecord::Error { line, message: "prediction unavailable".to_string() }
+                }
+                (Entry::Failed(message), _) => ServeRecord::Error { line, message },
             };
-            writeln!(out, "{}", json::write_compact(&record)).expect("write stdout");
+            writeln!(out, "{}", record.to_json_line()).expect("write stdout");
         }
     };
 
@@ -363,24 +388,19 @@ fn cmd_predict_stream(args: &[String]) -> ExitCode {
         };
         // An optional `PLATFORM:` prefix routes the line to a specific
         // stored mapping; the prefix is only consumed when it names one
-        // (case-insensitively, like every other platform lookup).
-        let route = |name: &str| {
-            let name = name.trim();
-            predictor
-                .store()
-                .latest(name)
-                .or_else(|| predictor.store().latest(&name.to_uppercase()))
+        // (case-insensitively) — shared with the daemon via
+        // `serve::route_line`.
+        let Some((id, seq_text)) = route_line(&store, &default_name, &line) else {
+            errors += 1;
+            pending.push((
+                line_no,
+                Entry::Failed(format!("no mapping registered under {default_name:?}")),
+            ));
+            continue;
         };
-        let (id, seq_text) = match line.split_once(':') {
-            Some((name, rest)) => match route(name) {
-                Some(id) => (id, rest),
-                None => (default_mapping, line.as_str()),
-            },
-            None => (default_mapping, line.as_str()),
-        };
-        match predictor.store().get(id).parse(seq_text) {
+        match store.get(id).parse(seq_text) {
             Ok(e) => pending.push((line_no, Entry::Seq(id, e))),
-            Err(pmevo::core::SequenceParseError::Empty) => {} // blank/comment line
+            Err(SequenceParseError::Empty) => {} // blank/comment line
             Err(err) => {
                 errors += 1;
                 pending.push((line_no, Entry::Failed(err.to_string())));
@@ -436,6 +456,89 @@ fn cmd_predict(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Pipes stdin to a running `pmevo-serve` daemon and the daemon's
+/// responses to stdout. The write half is shut down at stdin EOF; the
+/// daemon then answers everything still queued and closes, so "read
+/// until EOF" collects exactly the responses for our lines — no response
+/// counting, no sentinel records.
+fn run_client<S>(
+    stream: S,
+    shutdown_write: impl FnOnce(&S) -> std::io::Result<()> + Send,
+) -> ExitCode
+where
+    S: Read + Write + Send + Sync + 'static,
+    for<'a> &'a S: Read + Write,
+{
+    std::thread::scope(|scope| {
+        let sender = scope.spawn(|| -> std::io::Result<()> {
+            let mut to_daemon = &stream;
+            std::io::copy(&mut std::io::stdin().lock(), &mut to_daemon)?;
+            to_daemon.flush()?;
+            shutdown_write(&stream)
+        });
+        let mut stdout = std::io::stdout().lock();
+        let received = std::io::copy(&mut BufReadAdapter(&stream), &mut stdout);
+        let sent = sender.join().expect("sender thread");
+        match (sent, received) {
+            (Ok(()), Ok(_)) => ExitCode::SUCCESS,
+            (Err(e), _) => {
+                eprintln!("error: sending to daemon failed: {e}");
+                ExitCode::FAILURE
+            }
+            (_, Err(e)) => {
+                eprintln!("error: reading daemon responses failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    })
+}
+
+/// `std::io::copy` source over `&S` (reads borrow the stream shared
+/// with the sender thread).
+struct BufReadAdapter<'a, S>(&'a S);
+
+impl<S> Read for BufReadAdapter<'_, S>
+where
+    for<'a> &'a S: Read,
+{
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+fn cmd_client(args: &[String]) -> ExitCode {
+    match (flag(args, "--connect"), flag(args, "--unix")) {
+        (Some(addr), None) => match std::net::TcpStream::connect(&addr) {
+            Ok(stream) => {
+                run_client(stream, |s| s.shutdown(std::net::Shutdown::Write))
+            }
+            Err(e) => {
+                eprintln!("error: cannot connect to {addr}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        #[cfg(unix)]
+        (None, Some(path)) => match std::os::unix::net::UnixStream::connect(&path) {
+            Ok(stream) => {
+                run_client(stream, |s| s.shutdown(std::net::Shutdown::Write))
+            }
+            Err(e) => {
+                eprintln!("error: cannot connect to {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        #[cfg(not(unix))]
+        (None, Some(_)) => {
+            eprintln!("error: --unix is only supported on Unix platforms");
+            ExitCode::FAILURE
+        }
+        _ => {
+            eprintln!("error: client needs exactly one of --connect HOST:PORT or --unix PATH");
+            usage()
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -443,6 +546,7 @@ fn main() -> ExitCode {
         Some("infer") => cmd_infer(&args[1..]),
         Some("show") => cmd_show(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         _ => usage(),
     }
 }

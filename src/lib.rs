@@ -15,6 +15,7 @@
 //! | [`evo`] | `pmevo-evo` | experiment generation, congruence filtering, evolutionary inference |
 //! | [`baselines`] | `pmevo-baselines` | uops.info-, IACA-, llvm-mca-, Ithemal-like predictors |
 //! | [`predict`] | `pmevo-predict` | throughput-prediction serving layer: mapping store, batched cached prediction |
+//! | [`serve`] | `pmevo-serve` | long-lived prediction daemon: TCP/Unix socket protocol, cross-connection batch coalescing, hot mapping reload |
 //! | [`stats`] | `pmevo-stats` | MAPE/Pearson/Spearman, heat maps, tables |
 //!
 //! # Quickstart
@@ -59,6 +60,7 @@ pub use pmevo_isa as isa;
 pub use pmevo_lp as lp;
 pub use pmevo_machine as machine;
 pub use pmevo_predict as predict;
+pub use pmevo_serve as serve;
 pub use pmevo_stats as stats;
 
 pub use session::{

@@ -783,8 +783,9 @@ impl SessionReport {
     ///     .build()?
     ///     .run();
     /// let service = report.predictor();
-    /// let id = service.store().latest("TINY").expect("mapping registered");
-    /// let block = service.store().get(id).parse("add_r64_r64_r64 x2").unwrap();
+    /// let store = service.snapshot();
+    /// let id = store.latest("TINY").expect("mapping registered");
+    /// let block = store.get(id).parse("add_r64_r64_r64 x2").unwrap();
     /// assert!(service.predict(id, &block) > 0.0);
     /// # Ok(())
     /// # }

@@ -1,0 +1,81 @@
+//! The serving path of `pmevo-cli` must never panic on malformed
+//! input: bad numeric flags, zero worker/batch counts and a missing
+//! `--mapping` all get a printable error plus the usage text on stderr
+//! and a nonzero exit — no backtraces, no aborts.
+
+use std::process::{Command, Output, Stdio};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pmevo-cli"))
+}
+
+fn run(args: &[&str]) -> Output {
+    cli()
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn pmevo-cli")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Every graceful failure: no panic marker, an `error:` line naming the
+/// offense, the usage text for orientation.
+fn assert_graceful(out: &Output, needle: &str) {
+    let stderr = stderr_of(out);
+    assert!(
+        !stderr.contains("panicked"),
+        "serving path must not panic:\n{stderr}"
+    );
+    assert!(stderr.contains(needle), "stderr must contain {needle:?}:\n{stderr}");
+    assert!(stderr.contains("usage: pmevo-cli"), "stderr must show usage:\n{stderr}");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn malformed_numeric_flags_error_instead_of_panicking() {
+    for flag in ["--jobs", "--cache", "--batch"] {
+        let out = run(&["predict", "--mapping", "TINY=whatever.json", flag, "abc"]);
+        assert_graceful(&out, &format!("error: {flag} expects a number, got \"abc\""));
+        assert_eq!(out.status.code(), Some(1), "bad {flag} value exits 1");
+    }
+    for (cmd, flag) in [("infer", "--population"), ("infer", "--seed"), ("show", "--limit")] {
+        let out = run(&[cmd, "--platform", "TINY", flag, "abc"]);
+        assert_graceful(&out, &format!("error: {flag} expects a number, got \"abc\""));
+    }
+}
+
+#[test]
+fn zero_worker_and_batch_counts_are_rejected_loudly() {
+    // --jobs 0 would build an empty worker pool; --batch 0 would turn
+    // the flush threshold into "always" and silently degrade batching.
+    for flag in ["--jobs", "--batch"] {
+        let out = run(&["predict", "--mapping", "TINY=whatever.json", flag, "0"]);
+        assert_graceful(&out, &format!("error: {flag} must be at least 1, got 0"));
+        assert_eq!(out.status.code(), Some(1));
+    }
+}
+
+#[test]
+fn predict_without_mappings_asks_for_one() {
+    let out = run(&["predict"]);
+    assert_graceful(&out, "at least one --mapping NAME=file.json is required");
+    assert_eq!(out.status.code(), Some(2), "missing flags are usage errors");
+}
+
+#[test]
+fn unreadable_and_malformed_mapping_specs_error_cleanly() {
+    let out = run(&["predict", "--mapping", "TINY=/definitely/not/here.json"]);
+    assert_graceful(&out, "cannot read /definitely/not/here.json");
+
+    let out = run(&["predict", "--mapping", "M1=x.json"]);
+    assert_graceful(&out, "unknown platform \"M1\"");
+}
+
+#[test]
+fn client_without_an_endpoint_is_a_usage_error() {
+    let out = run(&["client"]);
+    assert_graceful(&out, "exactly one of --connect HOST:PORT or --unix PATH");
+}
