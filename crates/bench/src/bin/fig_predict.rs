@@ -19,6 +19,12 @@
 //! sequences/second, and the artifact gains the headline ratio
 //! `speedup_cached_batch_vs_uncached_single` (the cached, batched,
 //! pooled path vs per-sequence uncached prediction).
+//!
+//! Every configuration is paired with a `cache_capacity: 0` companion
+//! cell, so the 0%-hit-rate (pure miss-path) throughput is always part
+//! of the sweep; `--cache 0` collapses the sweep to *only* those
+//! uncached cells — the CI determinism gate runs that mode double and
+//! `cmp`s the artifacts.
 
 use pmevo_bench::Args;
 use pmevo_core::json::{self, Value};
@@ -158,8 +164,12 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
     for &batch in &batches {
         for &workers in &jobs_list {
-            for cache in [cache_capacity, 0] {
-                cells.push(Cell { batch: batch.max(1), workers, cache_capacity: cache });
+            cells.push(Cell { batch: batch.max(1), workers, cache_capacity });
+            // The 0%-hit-rate companion cell for every configuration.
+            // Under `--cache 0` the whole sweep *is* the uncached sweep
+            // and the cell above already covers it.
+            if cache_capacity != 0 {
+                cells.push(Cell { batch: batch.max(1), workers, cache_capacity: 0 });
             }
         }
     }

@@ -177,9 +177,24 @@ fn compact(masses: &MassVector, live: PortSet) -> Vec<(u32, f64)> {
         .collect()
 }
 
-/// Computes Equation 1 from compacted, distinct, ascending
-/// `(mask, mass)` entries over `k` live ports, choosing the cheapest of
-/// three exact strategies by predicted operation count:
+/// The exact scalar strategies of the bottleneck kernel. The batch path
+/// ([`crate::ThroughputSolver::predict_batch`]) adds a fourth,
+/// lane-parallel variant of [`Strategy::Zeta`] ([`zeta_and_max_lanes`])
+/// that is bit-identical to the scalar zeta transform per lane, so the
+/// strategy *selection* stays a pure function of `(entries, k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Strategy {
+    /// Union-closure enumeration, `Θ(d · 2^d)` for `d` distinct µops.
+    UnionClosure,
+    /// Superset scatter, `Θ(Σ_i 2^(k − |mask_i|) + 2^k)`.
+    Scatter,
+    /// Subset-sum (zeta) transform, `Θ(k · 2^k)` independent of `d`.
+    Zeta,
+}
+
+/// Picks the cheapest exact strategy for compacted, distinct, ascending
+/// `(mask, mass)` entries over `k` live ports, by predicted operation
+/// count:
 ///
 /// * **Union-closure enumeration** (`Θ(d · 2^d)` for `d` distinct µops):
 ///   the optimal bottleneck set `Q*` can always be taken as the union of
@@ -193,18 +208,13 @@ fn compact(masses: &MassVector, live: PortSet) -> Vec<(u32, f64)> {
 ///   µops are moderately many but wide, so the subset lattice stays
 ///   sparse.
 /// * **Zeta transform** (`Θ(k · 2^k)`, independent of `d`) as the dense
-///   fallback.
+///   fallback — and the only strategy with a lane-parallel batch variant
+///   ([`zeta_and_max_lanes`]).
 ///
-/// The choice is a pure function of `(entries, k)`, so every caller gets
-/// the same strategy — and the same bits — for the same input. `sum` and
-/// `unions` are caller-owned scratch so the hot path can reuse them
-/// ([`crate::ThroughputSolver`]); they are grown on demand.
-pub(crate) fn kernel_from_compacted(
-    entries: &[(u32, f64)],
-    k: usize,
-    sum: &mut Vec<f64>,
-    unions: &mut Vec<u32>,
-) -> f64 {
+/// The choice is a pure function of `(entries, k)`, so every caller —
+/// scalar or batched — gets the same strategy, and the same bits, for
+/// the same input.
+pub(crate) fn choose_strategy(entries: &[(u32, f64)], k: usize) -> Strategy {
     let d = entries.len();
     let size = 1usize << k;
     let zeta_cost = (k as u64 + 1) << k;
@@ -214,14 +224,34 @@ pub(crate) fn kernel_from_compacted(
             .map(|&(mask, _)| 1u64 << (k - mask.count_ones() as usize))
             .sum::<u64>();
     if d < 16 && (d as u64) << d < zeta_cost.min(scatter_cost) {
+        Strategy::UnionClosure
+    } else if scatter_cost < zeta_cost {
+        Strategy::Scatter
+    } else {
+        Strategy::Zeta
+    }
+}
+
+/// Runs one scalar strategy over compacted entries. `sum` and `unions`
+/// are caller-owned scratch so the hot path can reuse them
+/// ([`crate::ThroughputSolver`]); they are grown on demand.
+pub(crate) fn kernel_with_strategy(
+    strategy: Strategy,
+    entries: &[(u32, f64)],
+    k: usize,
+    sum: &mut Vec<f64>,
+    unions: &mut Vec<u32>,
+) -> f64 {
+    if strategy == Strategy::UnionClosure {
         return union_closure_max(entries, k, unions);
     }
+    let size = 1usize << k;
     if sum.len() < size {
         sum.resize(size, 0.0);
     }
     let sum = &mut sum[..size];
     sum.fill(0.0);
-    if scatter_cost < zeta_cost {
+    if strategy == Strategy::Scatter {
         let full = (size - 1) as u32;
         for &(mask, mass) in entries {
             let complement = full & !mask;
@@ -240,6 +270,18 @@ pub(crate) fn kernel_from_compacted(
         sum[mask as usize] += mass;
     }
     zeta_and_max(sum, k)
+}
+
+/// Computes Equation 1 from compacted, distinct, ascending
+/// `(mask, mass)` entries over `k` live ports, with the cheapest exact
+/// strategy per [`choose_strategy`].
+pub(crate) fn kernel_from_compacted(
+    entries: &[(u32, f64)],
+    k: usize,
+    sum: &mut Vec<f64>,
+    unions: &mut Vec<u32>,
+) -> f64 {
+    kernel_with_strategy(choose_strategy(entries, k), entries, k, sum, unions)
 }
 
 /// The union-closure strategy of [`kernel_from_compacted`]: for every
@@ -298,6 +340,66 @@ pub(crate) fn zeta_and_max(sum: &mut [f64], k: usize) -> f64 {
         }
     }
     max_quotient(sum, k)
+}
+
+/// Lane width of the batched zeta kernel: how many same-`k` experiments
+/// solve in lockstep through one structure-of-arrays `sum` plane. Eight
+/// `f64` columns fill one 64-byte cache line and give the autovectorizer
+/// fixed-width inner loops (2×AVX2 / 4×SSE2 per step).
+pub(crate) const LANES: usize = 8;
+
+/// Ceiling on `k` for the lane-parallel zeta path: a plane is
+/// `2^k × LANES × 8` bytes, so `k = 16` caps it at 4 MiB. Larger-`k`
+/// experiments (never seen from the paper's 8–10-port machines) fall
+/// back to the scalar zeta kernel.
+pub(crate) const MAX_LANE_PORTS: usize = 16;
+
+/// The fourth kernel strategy: the zeta (subset-sum) transform of
+/// [`zeta_and_max`] run across [`LANES`] experiments in lockstep over a
+/// structure-of-arrays plane — `sum[q][l]` is subset `q` of lane `l`.
+///
+/// Per lane this performs *exactly* the additions of the scalar
+/// transform, in the same ascending-`q` order, and funnels each lane's
+/// per-size maxima through the same [`best_quotient`] — so each lane's
+/// result is bit-identical to a scalar [`Strategy::Zeta`] solve of the
+/// same entries. Callers must therefore only route experiments here
+/// whose [`choose_strategy`] is `Zeta`; substituting it for the other
+/// strategies would change floating-point association order.
+pub(crate) fn zeta_and_max_lanes(sum: &mut [[f64; LANES]], k: usize) -> [f64; LANES] {
+    let size = 1usize << k;
+    debug_assert_eq!(sum.len(), size);
+    for bit in 0..k {
+        let b = 1usize << bit;
+        let mut q = b;
+        while q < size {
+            let (lo, hi) = sum.split_at_mut(q);
+            for (dst, src) in hi[..b].iter_mut().zip(&lo[q - b..]) {
+                for l in 0..LANES {
+                    dst[l] += src[l];
+                }
+            }
+            q += b << 1;
+        }
+    }
+    let mut best_by_size = [[0.0f64; LANES]; MAX_ENUMERABLE_PORTS + 1];
+    for (q, s) in sum.iter().enumerate().skip(1) {
+        let c = q.count_ones() as usize;
+        let best = &mut best_by_size[c];
+        for l in 0..LANES {
+            if s[l] > best[l] {
+                best[l] = s[l];
+            }
+        }
+    }
+    let mut out = [0.0f64; LANES];
+    let mut column = [0.0f64; MAX_ENUMERABLE_PORTS + 1];
+    for (l, slot) in out.iter_mut().enumerate() {
+        for (c, row) in best_by_size.iter().enumerate() {
+            column[c] = row[l];
+        }
+        *slot = best_quotient(&column, k);
+    }
+    out
 }
 
 /// The best `sum[Q] / |Q|` over non-empty `Q`, with one division per
@@ -511,6 +613,62 @@ mod tests {
         mv.add(ps(&[0]), 1.0); // mul
         mv.add(ps(&[2]), 1.0); // store
         mv
+    }
+
+    /// The crafted shapes of `tests/proptest_batch.rs` really do force
+    /// the strategies they claim to — pinned here against the cost
+    /// model so a model change cannot silently hollow out that suite.
+    #[test]
+    fn cost_model_picks_the_expected_strategy_per_shape() {
+        // 6 narrow µops over 8 live ports: union-closure enumeration.
+        let uc: Vec<(u32, f64)> =
+            vec![(0b1, 1.0), (0b10, 1.0), (0b100, 2.0), (0b1000, 1.0), (0b10000, 1.0), (0b11100000, 1.0)];
+        assert_eq!(choose_strategy(&uc, 8), Strategy::UnionClosure);
+        // 16 wide (|mask| ≥ 4) µops over 6 ports: sparse superset
+        // lattice, so scatter wins and d = 16 rules out union-closure.
+        let wide: Vec<(u32, f64)> = (0u32..64)
+            .filter(|m| m.count_ones() >= 4)
+            .take(16)
+            .map(|m| (m, 1.0))
+            .collect();
+        assert_eq!(choose_strategy(&wide, 6), Strategy::Scatter);
+        // All 21 singleton + pair masks over 6 ports: dense and narrow,
+        // the zeta transform's home turf.
+        let mut narrow: Vec<(u32, f64)> =
+            (0u32..64).filter(|m| (1..=2).contains(&m.count_ones())).map(|m| (m, 1.0)).collect();
+        narrow.sort_unstable_by_key(|&(m, _)| m);
+        assert_eq!(narrow.len(), 21);
+        assert_eq!(choose_strategy(&narrow, 6), Strategy::Zeta);
+    }
+
+    /// Per lane, the lockstep zeta kernel reproduces the scalar zeta
+    /// kernel's bits exactly — on lanes with *different* contents.
+    #[test]
+    fn lane_zeta_matches_scalar_zeta_bitwise() {
+        for k in 1..=6usize {
+            let size = 1usize << k;
+            let mut plane = vec![[0.0f64; LANES]; size];
+            let mut scalar_results = [0.0f64; LANES];
+            for (l, slot) in scalar_results.iter_mut().enumerate() {
+                let mut sum = vec![0.0f64; size];
+                // Deterministic, lane-distinct, irrational-ish masses.
+                for (q, s) in sum.iter_mut().enumerate() {
+                    if (q + l) % 3 != 0 {
+                        *s = ((q * 7 + l * 13 + 1) as f64) * 0.318_412_471_8;
+                        plane[q][l] = *s;
+                    }
+                }
+                *slot = zeta_and_max(&mut sum, k);
+            }
+            let lane_results = zeta_and_max_lanes(&mut plane, k);
+            for l in 0..LANES {
+                assert_eq!(
+                    lane_results[l].to_bits(),
+                    scalar_results[l].to_bits(),
+                    "lane {l} drifted from scalar zeta at k = {k}"
+                );
+            }
+        }
     }
 
     #[test]

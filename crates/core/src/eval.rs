@@ -23,7 +23,8 @@
 //! enforced by unit tests here and a property test in `pmevo-evo`.
 
 use crate::bottleneck_impl::{
-    kernel_from_compacted, masses_kernel, MassVector, MAX_ENUMERABLE_PORTS,
+    choose_strategy, kernel_from_compacted, kernel_with_strategy, masses_kernel,
+    zeta_and_max_lanes, MassVector, Strategy, LANES, MAX_ENUMERABLE_PORTS, MAX_LANE_PORTS,
 };
 use crate::{Experiment, InstId, MeasuredExperiment, PortSet, ThreeLevelMapping, MAX_PORTS};
 
@@ -280,7 +281,35 @@ pub struct ThroughputSolver {
     dec_counts: Vec<f64>,
     /// Loaded mapping: union of port sets per dense instruction.
     dec_unions: Vec<PortSet>,
+    /// Tagged `(mask‖sequence, contribution)` pairs of the sort-merge
+    /// aggregation path (see [`aggregate_row`](Self::aggregate_row)).
+    agg_raw: Vec<(u64, f64)>,
+    /// Batch arena: the compacted entry lists of every slot in the
+    /// current [`predict_batch`](Self::predict_batch), concatenated.
+    batch_entries: Vec<(u32, f64)>,
+    /// Batch arena boundaries: slot `s` owns
+    /// `batch_entries[batch_offsets[s]..batch_offsets[s + 1]]`.
+    batch_offsets: Vec<u32>,
+    /// Live-port count per batch slot.
+    batch_k: Vec<u8>,
+    /// Scalar strategy chosen per batch slot (pure in `(entries, k)`).
+    batch_strategy: Vec<Strategy>,
+    /// Slots routed to the lane-parallel zeta kernel this batch.
+    batch_zeta: Vec<u32>,
+    /// Index scratch of [`predict_all`](Self::predict_all).
+    batch_indices: Vec<u32>,
+    /// Prediction scratch of [`average_error`](Self::average_error).
+    batch_out: Vec<f64>,
+    /// Structure-of-arrays zeta plane: `lane_sum[q][l]` is subset `q`
+    /// of the `l`-th experiment solving in lockstep.
+    lane_sum: Vec<[f64; LANES]>,
 }
+
+/// Above this many µop contributions per experiment, [`ThroughputSolver`]
+/// aggregates by push-then-sort-then-merge instead of binary-search
+/// insertion — `Vec::insert` shifts the tail on every distinct mask,
+/// which is quadratic for mask-diverse sequences.
+const AGG_SORT_THRESHOLD: usize = 16;
 
 impl ThroughputSolver {
     /// Creates a solver with empty scratch buffers.
@@ -403,20 +432,50 @@ impl ThroughputSolver {
     /// [`MAX_ENUMERABLE_PORTS`] ports are live. Calling this without a
     /// loaded mapping for `compiled` is a logic error (debug-asserted).
     pub fn predict(&mut self, compiled: &CompiledExperiments, e: usize) -> f64 {
+        let k = self.aggregate_row(compiled, e);
+        if k == 0 {
+            return 0.0;
+        }
+        kernel_from_compacted(&self.entries, k, &mut self.sum, &mut self.unions)
+    }
+
+    /// Aggregates experiment `e`'s µop masses into `self.entries`
+    /// (compacted, distinct, ascending) and returns the live-port count
+    /// `k` — `0` means an all-dead experiment with `entries` left empty.
+    ///
+    /// Two merge paths produce the identical entry list:
+    ///
+    /// * **Binary-search insertion** for small contribution counts: keeps
+    ///   `entries` sorted, adds repeats in encounter order.
+    /// * **Push-sort-merge** above [`AGG_SORT_THRESHOLD`]: every
+    ///   contribution is tagged with its encounter sequence number and
+    ///   pushed, then sorted unstably by the composite key
+    ///   `mask · 2³² + seq` — all keys distinct, so the order is total
+    ///   and deterministic: ascending mask, encounter order within a
+    ///   mask. The adjacent-merge then performs the same additions in
+    ///   the same order as the insertion path, without its `O(d²)`
+    ///   tail-shifting.
+    fn aggregate_row(&mut self, compiled: &CompiledExperiments, e: usize) -> usize {
         debug_assert_eq!(
             self.dec_unions.len(),
             compiled.num_insts(),
             "load_mapping must precede predict"
         );
+        self.entries.clear();
         let (lo, hi) = compiled.row_bounds(e);
-        // Pass 1: the live ports of this experiment under the mapping.
+        // Pass 1: the live ports of this experiment under the mapping,
+        // and the total µop contribution count (for the path choice).
         let mut live = PortSet::EMPTY;
+        let mut contributions = 0usize;
         for t in lo..hi {
-            live = live.union(self.dec_unions[compiled.row_insts[t] as usize]);
+            let d = compiled.row_insts[t] as usize;
+            live = live.union(self.dec_unions[d]);
+            contributions +=
+                (self.dec_offsets[d + 1] - self.dec_offsets[d]) as usize;
         }
         let k = live.len();
         if k == 0 {
-            return 0.0;
+            return 0;
         }
         assert!(
             k <= MAX_ENUMERABLE_PORTS,
@@ -433,10 +492,15 @@ impl ThroughputSolver {
             }
         }
         // Pass 2: aggregate masses per compacted mask. Compaction is
-        // injective and monotone on subsets of the live ports, so this
-        // merges the same µops in the same order as the reference path's
-        // `MassVector` and yields the same ascending entry list.
-        self.entries.clear();
+        // injective and monotone on subsets of the live ports, so both
+        // merge paths combine the same µops in the same order as the
+        // reference path's `MassVector` and yield the same ascending
+        // entry list.
+        let sort_path = contributions > AGG_SORT_THRESHOLD;
+        if sort_path {
+            self.agg_raw.clear();
+        }
+        let mut seq = 0u64;
         for t in lo..hi {
             let d = compiled.row_insts[t] as usize;
             let n = compiled.row_counts[t];
@@ -452,13 +516,169 @@ impl ThroughputSolver {
                     mask
                 };
                 let contribution = n * self.dec_counts[u];
-                match self.entries.binary_search_by_key(&mask, |&(m, _)| m) {
-                    Ok(idx) => self.entries[idx].1 += contribution,
-                    Err(idx) => self.entries.insert(idx, (mask, contribution)),
+                if sort_path {
+                    self.agg_raw.push(((u64::from(mask) << 32) | seq, contribution));
+                    seq += 1;
+                } else {
+                    match self.entries.binary_search_by_key(&mask, |&(m, _)| m) {
+                        Ok(idx) => self.entries[idx].1 += contribution,
+                        Err(idx) => self.entries.insert(idx, (mask, contribution)),
+                    }
                 }
             }
         }
-        kernel_from_compacted(&self.entries, k, &mut self.sum, &mut self.unions)
+        if sort_path {
+            // In-place pattern-defeating quicksort: no allocation, and
+            // deterministic despite instability because the keys are
+            // pairwise distinct (each carries a unique sequence number).
+            self.agg_raw.sort_unstable_by_key(|&(key, _)| key);
+            for &(key, contribution) in &self.agg_raw {
+                let mask = (key >> 32) as u32;
+                match self.entries.last_mut() {
+                    Some(last) if last.0 == mask => last.1 += contribution,
+                    _ => self.entries.push((mask, contribution)),
+                }
+            }
+        }
+        k
+    }
+
+    /// Predicts the throughput of every compiled experiment in `indices`
+    /// under the loaded mapping, into `out` (cleared first, parallel to
+    /// `indices`).
+    ///
+    /// Bit-identical to calling [`predict`](Self::predict) per index,
+    /// but batched: each experiment's compacted entries are aggregated
+    /// into an arena, and every experiment whose cost model picks the
+    /// zeta strategy (with `k` within the lane ceiling) is solved
+    /// `LANES` (8) at a time through the structure-of-arrays lane kernel —
+    /// same additions per lane, same order, same `best_quotient` funnel,
+    /// so the lockstep path cannot drift from the scalar one.
+    /// Union-closure and scatter selections, plus ragged zeta tails, run
+    /// the scalar kernels unchanged. Allocation-free after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// As for [`predict`](Self::predict), for any index in the batch.
+    pub fn predict_batch(
+        &mut self,
+        compiled: &CompiledExperiments,
+        indices: &[u32],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(indices.len(), 0.0);
+        // Phase 1: aggregate every experiment into the batch arena and
+        // pin its (k, strategy) — strategy choice stays the pure
+        // function of `(entries, k)` that the scalar path uses.
+        self.batch_entries.clear();
+        self.batch_offsets.clear();
+        self.batch_k.clear();
+        self.batch_strategy.clear();
+        self.batch_offsets.push(0);
+        for &e in indices {
+            let k = self.aggregate_row(compiled, e as usize);
+            self.batch_entries.extend_from_slice(&self.entries);
+            self.batch_offsets.push(self.batch_entries.len() as u32);
+            self.batch_k.push(k as u8);
+            self.batch_strategy.push(choose_strategy(&self.entries, k));
+        }
+        // Phase 2: solve scalar-strategy slots immediately; collect the
+        // zeta slots that can coalesce into lanes.
+        self.batch_zeta.clear();
+        for slot in 0..indices.len() {
+            let k = self.batch_k[slot] as usize;
+            if k == 0 {
+                continue; // out[slot] is already 0.0
+            }
+            let strategy = self.batch_strategy[slot];
+            if strategy == Strategy::Zeta && k <= MAX_LANE_PORTS {
+                self.batch_zeta.push(slot as u32);
+                continue;
+            }
+            let (lo, hi) = (
+                self.batch_offsets[slot] as usize,
+                self.batch_offsets[slot + 1] as usize,
+            );
+            out[slot] = kernel_with_strategy(
+                strategy,
+                &self.batch_entries[lo..hi],
+                k,
+                &mut self.sum,
+                &mut self.unions,
+            );
+        }
+        // Phase 3: bucket the zeta slots by k (stable within a bucket:
+        // the composite key carries the slot) and run full LANES-wide
+        // chunks through the lockstep kernel, scalar zeta for the tail.
+        let mut zeta = std::mem::take(&mut self.batch_zeta);
+        zeta.sort_unstable_by_key(|&s| {
+            (u64::from(self.batch_k[s as usize]) << 32) | u64::from(s)
+        });
+        let mut i = 0;
+        while i < zeta.len() {
+            let k = self.batch_k[zeta[i] as usize] as usize;
+            let mut j = i + 1;
+            while j < zeta.len() && self.batch_k[zeta[j] as usize] as usize == k {
+                j += 1;
+            }
+            let run = &zeta[i..j];
+            let size = 1usize << k;
+            let mut c = 0;
+            while c + LANES <= run.len() {
+                let lanes = &run[c..c + LANES];
+                if self.lane_sum.len() < size {
+                    self.lane_sum.resize(size, [0.0; LANES]);
+                }
+                let plane = &mut self.lane_sum[..size];
+                plane.fill([0.0; LANES]);
+                for (l, &slot) in lanes.iter().enumerate() {
+                    let (lo, hi) = (
+                        self.batch_offsets[slot as usize] as usize,
+                        self.batch_offsets[slot as usize + 1] as usize,
+                    );
+                    for &(mask, mass) in &self.batch_entries[lo..hi] {
+                        plane[mask as usize][l] += mass;
+                    }
+                }
+                let results = zeta_and_max_lanes(plane, k);
+                for (l, &slot) in lanes.iter().enumerate() {
+                    out[slot as usize] = results[l];
+                }
+                c += LANES;
+            }
+            for &slot in &run[c..] {
+                let (lo, hi) = (
+                    self.batch_offsets[slot as usize] as usize,
+                    self.batch_offsets[slot as usize + 1] as usize,
+                );
+                out[slot as usize] = kernel_with_strategy(
+                    Strategy::Zeta,
+                    &self.batch_entries[lo..hi],
+                    k,
+                    &mut self.sum,
+                    &mut self.unions,
+                );
+            }
+            i = j;
+        }
+        self.batch_zeta = zeta;
+    }
+
+    /// Predicts every compiled experiment under the loaded mapping, into
+    /// `out` (cleared first, indexed by experiment) — the batched
+    /// equivalent of looping [`predict`](Self::predict) over
+    /// `0..num_experiments()`, bit-identical per slot.
+    ///
+    /// # Panics
+    ///
+    /// As for [`predict`](Self::predict).
+    pub fn predict_all(&mut self, compiled: &CompiledExperiments, out: &mut Vec<f64>) {
+        let mut indices = std::mem::take(&mut self.batch_indices);
+        indices.clear();
+        indices.extend(0..compiled.num_experiments() as u32);
+        self.predict_batch(compiled, &indices, out);
+        self.batch_indices = indices;
     }
 
     /// The relative prediction error `|t*_m(e) − t| / t` of compiled
@@ -489,10 +709,14 @@ impl ThroughputSolver {
         let n = compiled.num_experiments();
         assert!(n > 0, "no experiments to evaluate");
         self.load_mapping(compiled, mapping);
+        let mut preds = std::mem::take(&mut self.batch_out);
+        self.predict_all(compiled, &mut preds);
         let mut sum = 0.0f64;
-        for e in 0..n {
-            sum += self.relative_error(compiled, e);
+        for (e, &p) in preds.iter().enumerate() {
+            let t = compiled.measured(e);
+            sum += (p - t).abs() / t;
         }
+        self.batch_out = preds;
         sum / n as f64
     }
 

@@ -185,6 +185,8 @@ pub struct FitnessEngine {
     /// [`build_cache`]: Self::build_cache
     /// [`try_update`]: Self::try_update
     delta_sync: DeltaSync,
+    /// Prediction scratch of the batched cache/delta paths.
+    batch_preds: Vec<f64>,
 }
 
 /// See [`FitnessEngine::delta_sync`].
@@ -222,6 +224,7 @@ impl FitnessEngine {
             pool,
             pending: Vec::new(),
             delta_sync: DeltaSync::Unsynced,
+            batch_preds: Vec::new(),
         }
     }
 
@@ -345,10 +348,14 @@ impl FitnessEngine {
         self.solver.load_mapping(&self.compiled, mapping);
         self.delta_sync = DeltaSync::Synced { dirty: None };
         let n = self.compiled.num_experiments();
+        let mut preds = std::mem::take(&mut self.batch_preds);
+        self.solver.predict_all(&self.compiled, &mut preds);
         let mut per_exp = Vec::with_capacity(n);
-        for e in 0..n {
-            per_exp.push(self.solver.relative_error(&self.compiled, e));
+        for (e, &p) in preds.iter().enumerate() {
+            let t = self.compiled.measured(e);
+            per_exp.push((p - t).abs() / t);
         }
+        self.batch_preds = preds;
         let mean = mean_in_order(&per_exp);
         ErrorCache { per_exp, mean }
     }
@@ -394,10 +401,13 @@ impl FitnessEngine {
             self.delta_sync = DeltaSync::Synced {
                 dirty: Some(changed),
             };
-            for &e in affected {
-                self.pending
-                    .push((e, self.solver.relative_error(&self.compiled, e as usize)));
+            let mut preds = std::mem::take(&mut self.batch_preds);
+            self.solver.predict_batch(&self.compiled, affected, &mut preds);
+            for (&e, &p) in affected.iter().zip(&preds) {
+                let t = self.compiled.measured(e as usize);
+                self.pending.push((e, (p - t).abs() / t));
             }
+            self.batch_preds = preds;
         }
         // Re-sum over *all* experiments in order, substituting the staged
         // values: same additions in the same order as a full evaluation,

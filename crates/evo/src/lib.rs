@@ -20,6 +20,8 @@
 //! the current population disagrees on
 //! ([`pmevo_core::SelectionPolicy`], [`pmevo_core::MeasurementBudget`]).
 
+#![deny(missing_docs)]
+
 pub mod algorithm;
 pub mod congruence;
 pub mod evolution;

@@ -54,7 +54,8 @@ impl Default for PredictorConfig {
 }
 
 /// Cumulative serving counters of a [`Predictor`], for load reports and
-/// the `fig_predict` sweep. All counts are exact and deterministic.
+/// the `fig_predict` sweep. All counts are exact and deterministic; the
+/// solve-time accumulator is wall-clock and therefore not.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PredictStats {
     /// Sequences answered (hits and misses).
@@ -63,6 +64,9 @@ pub struct PredictStats {
     pub cache_hits: u64,
     /// Batches submitted.
     pub batches: u64,
+    /// Wall-clock nanoseconds spent solving cache misses (compile +
+    /// kernel + reassembly), cumulative across batches.
+    pub miss_solve_ns: u64,
 }
 
 impl PredictStats {
@@ -74,6 +78,12 @@ impl PredictStats {
         } else {
             self.cache_hits as f64 / self.queries as f64
         }
+    }
+
+    /// Sequences that had to be solved (queries not answered from the
+    /// cache).
+    pub fn misses(&self) -> u64 {
+        self.queries - self.cache_hits
     }
 }
 
@@ -91,20 +101,38 @@ fn worker_loop(jobs: Arc<Mutex<Receiver<Job>>>) {
     // One solver per worker for the life of the pool: its scratch and
     // loaded-mapping tables are reused across every batch it serves.
     let mut solver = ThroughputSolver::new();
+    let mut indices: Vec<u32> = Vec::new();
     loop {
         let job = jobs.lock().expect("job queue poisoned").recv();
         let Ok(job) = job else { break };
         solver.load_mapping(&job.compiled, &job.mapping);
+        indices.clear();
+        indices.extend(job.start as u32..job.end as u32);
+        // The batched solve coalesces same-k zeta experiments into the
+        // lane-parallel kernel; bit-identical to per-index `predict`.
         let mut out = Vec::with_capacity(job.end - job.start);
-        for e in job.start..job.end {
-            out.push(solver.predict(&job.compiled, e));
-        }
+        solver.predict_batch(&job.compiled, &indices, &mut out);
         if job.out.send((job.start, out)).is_err() {
             // The requester vanished; keep serving other batches.
             continue;
         }
     }
 }
+
+/// Calling-thread solver state for the inline miss path (see
+/// [`Predictor::predict_batch`]).
+struct InlineSolver {
+    solver: ThroughputSolver,
+    indices: Vec<u32>,
+    out: Vec<f64>,
+}
+
+/// Largest miss count a multi-worker predictor will solve inline (when
+/// the inline solver is free) instead of fanning out over the pool. A
+/// pool round-trip costs a channel send + condvar wake on both ends —
+/// microseconds — so small batches are faster on the calling thread
+/// even with zero contention.
+const INLINE_MISS_MAX: usize = 128;
 
 /// A throughput-prediction service over a [`MappingStore`]: batched,
 /// cached, thread-pooled — the paper's §6 evaluation loop turned into a
@@ -153,8 +181,14 @@ pub struct Predictor {
     queries: AtomicU64,
     cache_hits: AtomicU64,
     batches: AtomicU64,
+    /// Wall-clock nanoseconds spent on the miss path, cumulative.
+    miss_solve_ns: AtomicU64,
     /// Queries answered per mapping id, for the stats surface.
     per_mapping: Mutex<HashMap<u32, u64>>,
+    /// Calling-thread solver for small miss batches: skips the pool's
+    /// channel/condvar round-trip, which dominates per-sequence latency
+    /// at low hit rates.
+    inline: Mutex<InlineSolver>,
     jobs: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -187,7 +221,13 @@ impl Predictor {
             queries: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            miss_solve_ns: AtomicU64::new(0),
             per_mapping: Mutex::new(HashMap::new()),
+            inline: Mutex::new(InlineSolver {
+                solver: ThroughputSolver::new(),
+                indices: Vec::new(),
+                out: Vec::new(),
+            }),
             jobs: Some(tx),
             workers,
         }
@@ -254,6 +294,7 @@ impl Predictor {
             queries: self.queries.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            miss_solve_ns: self.miss_solve_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -273,8 +314,12 @@ impl Predictor {
     /// of every sequence under the stored mapping `id`, in input order.
     ///
     /// Cache hits are answered inline; misses are compiled once and
-    /// fanned out over the pool. The result is bit-identical for every
-    /// worker count and cache configuration.
+    /// solved either on the calling thread (single-worker pools always;
+    /// multi-worker pools for small batches when the inline solver is
+    /// free — the pool round-trip costs more than the solve) or fanned
+    /// out over the pool. Both paths run the same batched solver, so the
+    /// result is bit-identical for every worker count, cache
+    /// configuration and inline/pool routing.
     ///
     /// # Panics
     ///
@@ -306,67 +351,102 @@ impl Predictor {
 
         let mut results = vec![0.0f64; sequences.len()];
         let mut miss_idx: Vec<usize> = Vec::new();
-        {
-            let mut caches = self.caches.lock().expect("cache poisoned");
-            let cache = caches
-                .entry(id.0)
-                .or_insert_with(|| LruCache::new(self.cache_capacity));
-            for (i, e) in sequences.iter().enumerate() {
-                match cache.get(e) {
-                    Some(&t) => results[i] = t,
-                    None => miss_idx.push(i),
+        if self.cache_capacity == 0 {
+            // Caching is off: everything is a miss, and the cache lock
+            // never needs to be touched on this path.
+            miss_idx.extend(0..sequences.len());
+        } else {
+            {
+                let mut caches = self.caches.lock().expect("cache poisoned");
+                let cache = caches
+                    .entry(id.0)
+                    .or_insert_with(|| LruCache::new(self.cache_capacity));
+                for (i, e) in sequences.iter().enumerate() {
+                    match cache.get(e) {
+                        Some(&t) => results[i] = t,
+                        None => miss_idx.push(i),
+                    }
                 }
             }
+            self.cache_hits
+                .fetch_add((sequences.len() - miss_idx.len()) as u64, Ordering::Relaxed);
         }
-        self.cache_hits
-            .fetch_add((sequences.len() - miss_idx.len()) as u64, Ordering::Relaxed);
         if miss_idx.is_empty() {
             return results;
         }
 
+        let solve_start = std::time::Instant::now();
         // Compile the misses once: dense interning + flat rows. The
         // measured field is a placeholder (the compiler demands positive
         // throughputs); prediction never reads it.
-        let compiled = Arc::new(CompiledExperiments::compile(
+        let compiled = CompiledExperiments::compile(
             &miss_idx
                 .iter()
                 .map(|&i| MeasuredExperiment::new(sequences[i].clone(), 1.0))
                 .collect::<Vec<_>>(),
-        ));
-        let mapping = Arc::clone(stored.mapping());
-
+        );
         let n = miss_idx.len();
-        let chunks = self.workers.len().min(n).max(1);
-        let chunk_size = n.div_ceil(chunks);
-        let (tx, rx) = channel();
-        let jobs = self.jobs.as_ref().expect("pool alive while predictor exists");
-        for c in 0..chunks {
-            let start = c * chunk_size;
-            // With `chunk_size = ceil(n / chunks)` the tail chunks can be
-            // empty (e.g. n = 5 over 4 workers): stop dispatching then.
-            if start >= n {
-                break;
-            }
-            let end = ((c + 1) * chunk_size).min(n);
-            jobs.send(Job {
-                compiled: Arc::clone(&compiled),
-                mapping: Arc::clone(&mapping),
-                start,
-                end,
-                out: tx.clone(),
-            })
-            .expect("worker pool alive");
-        }
-        drop(tx);
 
-        let mut received = 0usize;
-        for (start, values) in rx {
-            received += values.len();
-            for (k, t) in values.into_iter().enumerate() {
-                results[miss_idx[start + k]] = t;
+        // Inline policy: a single-worker pool gains nothing from the
+        // hand-off, so always solve on the calling thread (blocking on
+        // the inline solver serializes exactly like the 1-worker queue
+        // would). Multi-worker pools solve small batches inline only
+        // when the solver is free, falling back to the pool under
+        // contention.
+        let inline_guard = if self.workers.len() == 1 {
+            Some(self.inline.lock().expect("inline solver poisoned"))
+        } else if n <= INLINE_MISS_MAX {
+            self.inline.try_lock().ok()
+        } else {
+            None
+        };
+        if let Some(mut guard) = inline_guard {
+            let g = &mut *guard;
+            g.solver.load_mapping(&compiled, stored.mapping());
+            g.indices.clear();
+            g.indices.extend(0..n as u32);
+            g.solver.predict_batch(&compiled, &g.indices, &mut g.out);
+            for (k, &i) in miss_idx.iter().enumerate() {
+                results[i] = g.out[k];
             }
+        } else {
+            let compiled = Arc::new(compiled);
+            let mapping = Arc::clone(stored.mapping());
+            let chunks = self.workers.len().min(n).max(1);
+            let chunk_size = n.div_ceil(chunks);
+            let (tx, rx) = channel();
+            let jobs = self.jobs.as_ref().expect("pool alive while predictor exists");
+            for c in 0..chunks {
+                let start = c * chunk_size;
+                // With `chunk_size = ceil(n / chunks)` the tail chunks
+                // can be empty (e.g. n = 5 over 4 workers): stop
+                // dispatching then.
+                if start >= n {
+                    break;
+                }
+                let end = ((c + 1) * chunk_size).min(n);
+                jobs.send(Job {
+                    compiled: Arc::clone(&compiled),
+                    mapping: Arc::clone(&mapping),
+                    start,
+                    end,
+                    out: tx.clone(),
+                })
+                .expect("worker pool alive");
+            }
+            drop(tx);
+
+            let mut received = 0usize;
+            for (start, values) in rx {
+                received += values.len();
+                for (k, t) in values.into_iter().enumerate() {
+                    results[miss_idx[start + k]] = t;
+                }
+            }
+            assert_eq!(received, n, "a prediction worker died mid-batch");
         }
-        assert_eq!(received, n, "a prediction worker died mid-batch");
+        self.miss_solve_ns
+            .fetch_add(solve_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
         if self.cache_capacity > 0 {
             let mut caches = self.caches.lock().expect("cache poisoned");

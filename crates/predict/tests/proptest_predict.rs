@@ -58,29 +58,40 @@ fn bits(values: &[f64]) -> Vec<u64> {
     values.iter().map(|t| t.to_bits()).collect()
 }
 
-/// Serves `stream` through a fresh predictor, split into a few batches
-/// so later batches can hit cache entries written by earlier ones.
-fn serve(mapping: &ThreeLevelMapping, stream: &[Experiment], workers: usize, cache: usize) -> Vec<f64> {
+/// Serves `stream` through a fresh predictor in `chunk`-sized batches —
+/// later batches can hit cache entries written by earlier ones, and the
+/// chunk size steers which miss path runs (inline single/small batches
+/// vs pool fan-out vs lane-coalesced lockstep solves).
+fn serve(
+    mapping: &ThreeLevelMapping,
+    stream: &[Experiment],
+    workers: usize,
+    cache: usize,
+    chunk: usize,
+) -> Vec<f64> {
     let mut store = MappingStore::new();
     let names = (0..NUM_INSTS).map(|i| format!("i{i}")).collect();
     let id = store.insert("P", names, mapping.clone());
     let predictor = Predictor::new(store, PredictorConfig { workers, cache_capacity: cache });
     let mut out = Vec::with_capacity(stream.len());
-    for chunk in stream.chunks(7) {
+    for chunk in stream.chunks(chunk) {
         out.extend(predictor.predict_batch(id, chunk));
     }
     out
 }
 
 proptest! {
-    // Each case serves 9 predictor configurations; 64 cases keep the
-    // suite around a second (override downward with PROPTEST_CASES).
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Each case serves 9 predictor configurations × 3 batch sizes; 48
+    // cases keep the suite around a second (override downward with
+    // PROPTEST_CASES).
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The tentpole serving contract: for random mappings and random
-    /// skewed query streams, every (worker count × cache mode) serving
-    /// configuration returns byte-for-byte the same answers as the
-    /// naive reference path.
+    /// skewed query streams, every (worker count × cache mode × batch
+    /// size) serving configuration returns byte-for-byte the same
+    /// answers as the naive reference path. Batch size 1 pins the
+    /// inline miss path, 7 the small-batch hand-off, 64 the
+    /// lane-coalesced lockstep solve.
     #[test]
     fn predictions_are_bit_identical_across_workers_and_cache_modes(
         mapping in mapping_strategy(),
@@ -90,14 +101,17 @@ proptest! {
         let reference_bits = bits(&reference);
         for workers in [1usize, 2, 8] {
             for cache in [0usize, 4, 1 << 12] {
-                let served = serve(&mapping, &stream, workers, cache);
-                prop_assert_eq!(
-                    bits(&served),
-                    reference_bits.clone(),
-                    "{} workers, cache capacity {}",
-                    workers,
-                    cache
-                );
+                for chunk in [1usize, 7, 64] {
+                    let served = serve(&mapping, &stream, workers, cache, chunk);
+                    prop_assert_eq!(
+                        bits(&served),
+                        reference_bits.clone(),
+                        "{} workers, cache capacity {}, batch size {}",
+                        workers,
+                        cache,
+                        chunk
+                    );
+                }
             }
         }
     }

@@ -5,7 +5,7 @@
 use crate::specs::{load_platform_mapping, route_line};
 use pmevo_core::json::{self, Value};
 use pmevo_core::{parse_control, ControlVerb, Experiment, SequenceParseError, ServeRecord};
-use pmevo_predict::{MappingId, MappingStore, Predictor, PredictorConfig};
+use pmevo_predict::{MappingId, MappingStore, PredictStats, Predictor, PredictorConfig};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
 #[cfg(unix)]
@@ -136,6 +136,17 @@ struct DaemonStats {
     cross_connection_windows: AtomicU64,
 }
 
+/// The predictor counters and wall-clock time at the previous `!stats`
+/// call — the baseline the per-window hit/miss split is computed
+/// against. Each `!stats` response reports the delta since the last one
+/// and resets the baseline, so operators polling the verb see *recent*
+/// traffic shape (has it fallen off the cached path?), not the
+/// since-boot average.
+struct WindowBaseline {
+    stats: PredictStats,
+    at: Instant,
+}
+
 struct Shared {
     predictor: Predictor,
     /// Unprefixed lines route to the latest version of this name (the
@@ -143,6 +154,7 @@ struct Shared {
     default_name: String,
     config: ServeConfig,
     stats: DaemonStats,
+    window: Mutex<WindowBaseline>,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -179,6 +191,7 @@ impl Server {
             store,
             PredictorConfig { workers: config.workers, cache_capacity: config.cache_capacity },
         );
+        let started = Instant::now();
         let shared = Arc::new(Shared {
             predictor,
             default_name,
@@ -189,8 +202,9 @@ impl Server {
                 coalesced_windows: AtomicU64::new(0),
                 cross_connection_windows: AtomicU64::new(0),
             },
+            window: Mutex::new(WindowBaseline { stats: PredictStats::default(), at: started }),
             shutdown: AtomicBool::new(false),
-            started: Instant::now(),
+            started,
         });
         let (submit, queue) = channel();
         let coalescer = {
@@ -642,10 +656,39 @@ fn reload(shared: &Shared, line: u64, name: &str, path: &str) -> String {
     }
 }
 
-/// The `!stats` response: predictor counters, daemon counters, QPS and
-/// the per-mapping load breakdown.
+/// The `!stats` response: predictor counters, daemon counters, QPS, the
+/// hit/miss split since the previous `!stats` (the *window*), and the
+/// per-mapping load breakdown.
 fn stats_record(shared: &Shared, line: u64) -> String {
     let p = shared.predictor.stats();
+    let now = Instant::now();
+    // Delta against the previous `!stats`, then advance the baseline.
+    // Saturating: concurrent `!stats` calls may interleave their counter
+    // reads with the baseline swap, and a window must never underflow.
+    let (w, window_wall) = {
+        let mut baseline = shared.window.lock().expect("window baseline poisoned");
+        let prev = baseline.stats;
+        let wall = now.saturating_duration_since(baseline.at);
+        baseline.stats = p;
+        baseline.at = now;
+        (
+            PredictStats {
+                queries: p.queries.saturating_sub(prev.queries),
+                cache_hits: p.cache_hits.saturating_sub(prev.cache_hits),
+                batches: p.batches.saturating_sub(prev.batches),
+                miss_solve_ns: p.miss_solve_ns.saturating_sub(prev.miss_solve_ns),
+            },
+            wall,
+        )
+    };
+    // Fraction of the window's wall-clock the predictor spent solving
+    // misses — ~0 means traffic is riding the cache, ~1 means the miss
+    // path is saturating a core.
+    let miss_solve_share = if window_wall.as_nanos() > 0 {
+        w.miss_solve_ns as f64 / window_wall.as_nanos() as f64
+    } else {
+        0.0
+    };
     let uptime = shared.started.elapsed();
     let qps = if uptime.as_secs_f64() > 0.0 {
         p.queries as f64 / uptime.as_secs_f64()
@@ -690,6 +733,19 @@ fn stats_record(shared: &Shared, line: u64) -> String {
                 ),
                 ("uptime_ms".into(), Value::UInt(uptime.as_millis() as u64)),
                 ("qps".into(), Value::Num(qps)),
+                ("misses".into(), Value::UInt(p.misses())),
+                ("miss_solve_ms".into(), Value::Num(p.miss_solve_ns as f64 / 1e6)),
+                (
+                    "window".into(),
+                    Value::Obj(vec![
+                        ("queries".into(), Value::UInt(w.queries)),
+                        ("cache_hits".into(), Value::UInt(w.cache_hits)),
+                        ("misses".into(), Value::UInt(w.misses())),
+                        ("hit_rate".into(), Value::Num(w.hit_rate())),
+                        ("miss_solve_ms".into(), Value::Num(w.miss_solve_ns as f64 / 1e6)),
+                        ("miss_solve_share".into(), Value::Num(miss_solve_share)),
+                    ]),
+                ),
                 ("mappings".into(), Value::Arr(mappings)),
             ]),
         ),

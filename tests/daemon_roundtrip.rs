@@ -150,6 +150,35 @@ proptest! {
     }
 }
 
+/// `!stats` reports the hit/miss split *per window* (since the previous
+/// `!stats`): a first wave of distinct sequences is all misses, the
+/// identical second wave is answered entirely from the cache. The verb
+/// is a barrier in the coalescer, so every prediction of a wave is
+/// counted before its stats record is built.
+#[test]
+fn stats_windows_split_hits_and_misses() {
+    let (server, addr, _artifact) = start_daemon();
+    let lines: String = (1..=5).map(|n| format!("add_r64_r64_r64 x{n}\n")).collect();
+    let first = via_daemon(addr, &format!("{lines}!stats\n"));
+    let stats1 = first.lines().last().expect("stats record");
+    assert!(
+        stats1.contains("\"window\":{\"queries\":5,\"cache_hits\":0,\"misses\":5,"),
+        "first window must be all misses: {stats1}"
+    );
+    let second = via_daemon(addr, &format!("{lines}!stats\n"));
+    let stats2 = second.lines().last().expect("stats record");
+    assert!(
+        stats2.contains("\"window\":{\"queries\":5,\"cache_hits\":5,\"misses\":0,"),
+        "second window must be all cache hits: {stats2}"
+    );
+    for stats in [stats1, stats2] {
+        assert!(stats.contains("\"miss_solve_share\":"), "window solve share: {stats}");
+        assert!(stats.contains("\"miss_solve_ms\":"), "cumulative solve time: {stats}");
+    }
+    server.stop();
+    server.join();
+}
+
 /// A hot reload on one connection must not disturb another client's
 /// in-flight stream: the bystander keeps getting records for every
 /// line, all referencing a valid mapping version, in input order.
