@@ -51,6 +51,7 @@ mod ports;
 mod predict;
 pub mod render;
 pub mod selection;
+pub mod suggest;
 
 pub use backend::{
     measurements_from_json, measurements_to_json, measurements_to_json_pretty, BackendStats,

@@ -132,6 +132,12 @@ pub enum SequenceParseError {
     UnknownInstruction {
         /// The unresolved instruction name, verbatim.
         name: String,
+        /// The nearest known instruction name, when one is plausibly
+        /// what the user meant. [`parse_sequence`] itself leaves this
+        /// `None` (it only sees a resolver closure); name-table owners
+        /// like `pmevo-predict`'s `StoredMapping::parse` fill it in via
+        /// [`crate::suggest::nearest`].
+        suggestion: Option<String>,
     },
     /// A term's repeat count was not a positive integer.
     BadCount {
@@ -144,8 +150,12 @@ impl fmt::Display for SequenceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SequenceParseError::Empty => write!(f, "empty instruction sequence"),
-            SequenceParseError::UnknownInstruction { name } => {
-                write!(f, "unknown instruction form {name:?}")
+            SequenceParseError::UnknownInstruction { name, suggestion } => {
+                write!(f, "unknown instruction form {name:?}")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean {s:?}?)")?;
+                }
+                Ok(())
             }
             SequenceParseError::BadCount { term } => {
                 write!(f, "bad repeat count in term {term:?} (expected a positive integer)")
@@ -218,6 +228,7 @@ pub fn parse_sequence(
         };
         let id = resolve(name).ok_or_else(|| SequenceParseError::UnknownInstruction {
             name: name.to_owned(),
+            suggestion: None,
         })?;
         counts.push((id, count));
     }
@@ -290,6 +301,9 @@ pub enum ControlVerb {
     /// `!stats` — report serving counters (QPS, cache hit rate,
     /// per-mapping query counts, live connections).
     Stats,
+    /// `!mappings` — list every loaded mapping as a `name@version` label
+    /// with its per-mapping query count, in store order (load order).
+    Mappings,
     /// `!reload NAME=file.json` — load a new version of `NAME`'s mapping
     /// into the store and atomically swap it in; in-flight batches drain
     /// against the old version.
@@ -320,6 +334,7 @@ pub enum ControlVerb {
 ///
 /// assert_eq!(parse_control("add x2"), None);
 /// assert_eq!(parse_control("!stats"), Some(Ok(ControlVerb::Stats)));
+/// assert_eq!(parse_control("!mappings"), Some(Ok(ControlVerb::Mappings)));
 /// assert_eq!(
 ///     parse_control("!reload SKL=skl_v2.json"),
 ///     Some(Ok(ControlVerb::Reload { name: "SKL".into(), path: "skl_v2.json".into() }))
@@ -335,6 +350,7 @@ pub fn parse_control(line: &str) -> Option<Result<ControlVerb, String>> {
     };
     Some(match verb {
         "stats" if arg.is_empty() => Ok(ControlVerb::Stats),
+        "mappings" if arg.is_empty() => Ok(ControlVerb::Mappings),
         "shutdown" if arg.is_empty() => Ok(ControlVerb::Shutdown),
         "reload" => match arg.split_once('=') {
             Some((name, path)) if !name.trim().is_empty() && !path.trim().is_empty() => {
@@ -345,9 +361,9 @@ pub fn parse_control(line: &str) -> Option<Result<ControlVerb, String>> {
             }
             _ => Err("reload expects NAME=file.json".to_owned()),
         },
-        "stats" | "shutdown" => Err(format!("{verb} takes no argument")),
+        "stats" | "mappings" | "shutdown" => Err(format!("{verb} takes no argument")),
         other => Err(format!(
-            "unknown control verb {other:?} (expected stats, reload or shutdown)"
+            "unknown control verb {other:?} (expected stats, mappings, reload or shutdown)"
         )),
     })
 }
@@ -452,7 +468,7 @@ mod tests {
         }
         assert_eq!(
             parse_sequence("i0; nope", resolve_dense),
-            Err(SequenceParseError::UnknownInstruction { name: "nope".into() })
+            Err(SequenceParseError::UnknownInstruction { name: "nope".into(), suggestion: None })
         );
         for line in ["i0 * 0", "i0:x", "i0 y3", "i0 x", "i0 *"] {
             assert!(
@@ -473,6 +489,7 @@ mod tests {
     #[test]
     fn control_grammar_accepts_verbs_and_rejects_noise() {
         assert_eq!(parse_control("  !stats  "), Some(Ok(ControlVerb::Stats)));
+        assert_eq!(parse_control("!mappings"), Some(Ok(ControlVerb::Mappings)));
         assert_eq!(parse_control("!shutdown"), Some(Ok(ControlVerb::Shutdown)));
         assert_eq!(
             parse_control("!reload TINY = /tmp/v2.json"),
@@ -480,7 +497,9 @@ mod tests {
         );
         assert_eq!(parse_control("add x2"), None);
         assert_eq!(parse_control(""), None);
-        for bad in ["!reload", "!reload TINY", "!reload =x.json", "!stats now", "!zap"] {
+        for bad in
+            ["!reload", "!reload TINY", "!reload =x.json", "!stats now", "!mappings all", "!zap"]
+        {
             assert!(matches!(parse_control(bad), Some(Err(_))), "{bad:?}");
         }
     }

@@ -1,0 +1,115 @@
+//! "Did you mean ...?" candidate suggestion for user-facing parse and
+//! resolution errors.
+//!
+//! Every serving front end that resolves names typed by a human — the
+//! sequence grammar's instruction forms, the x86 ingestion layer's
+//! mnemonics — answers an unknown name with the nearest known one, so a
+//! typo costs one glance instead of a trip to the docs.
+
+/// The nearest candidate to `target` by Levenshtein edit distance, if
+/// one is plausibly a typo of it.
+///
+/// A candidate qualifies when its distance is at most
+/// `max(2, target.len() / 3)` — close enough that the suggestion is
+/// likelier right than noise. Ties resolve to the earliest candidate in
+/// iteration order, so callers with a deterministic candidate order
+/// (sorted name tables, `BTreeMap` registries) get deterministic
+/// suggestions.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_core::suggest::nearest;
+///
+/// let known = ["add", "sub", "imul"];
+/// assert_eq!(nearest("add", known.iter().copied()), Some("add"));
+/// assert_eq!(nearest("addd", known.iter().copied()), Some("add"));
+/// assert_eq!(nearest("zzzzzzzz", known.iter().copied()), None);
+/// ```
+pub fn nearest<'a>(target: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    let budget = (target.len() / 3).max(2);
+    let mut best: Option<(usize, &'a str)> = None;
+    for candidate in candidates {
+        let cap = best.map_or(budget, |(d, _)| d.saturating_sub(1).min(budget));
+        if let Some(d) = bounded_distance(target, candidate, cap) {
+            if best.is_none_or(|(bd, _)| d < bd) {
+                if d == 0 {
+                    return Some(candidate);
+                }
+                best = Some((d, candidate));
+            }
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+/// Levenshtein distance between `a` and `b`, or `None` if it exceeds
+/// `cap` (with an early length-difference cutoff so scanning a large
+/// name table stays cheap).
+fn bounded_distance(a: &str, b: &str, cap: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > cap {
+        return None;
+    }
+    // One rolling row of the standard DP table.
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        let mut row_min = row[0];
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+            row_min = row_min.min(next);
+        }
+        if row_min > cap {
+            return None;
+        }
+    }
+    (row[b.len()] <= cap).then_some(row[b.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_wins_immediately() {
+        assert_eq!(nearest("mov", ["add", "mov", "movq"].into_iter()), Some("mov"));
+    }
+
+    #[test]
+    fn close_typos_are_suggested() {
+        let names = ["add_r64_r64", "mul_r64_r64", "div_r64_r64"];
+        assert_eq!(nearest("add_r64_r6", names.into_iter()), Some("add_r64_r64"));
+        assert_eq!(nearest("adD_r64_r64", names.into_iter()), Some("add_r64_r64"));
+        assert_eq!(nearest("mul_r64r64", names.into_iter()), Some("mul_r64_r64"));
+    }
+
+    #[test]
+    fn distant_names_yield_no_suggestion() {
+        let names = ["add", "sub"];
+        assert_eq!(nearest("completely_else", names.into_iter()), None);
+        assert_eq!(nearest("", [].into_iter()), None);
+    }
+
+    #[test]
+    fn ties_resolve_to_the_first_candidate() {
+        // "ad" is distance 1 from both; the first wins deterministically.
+        assert_eq!(nearest("ad", ["add", "and"].into_iter()), Some("add"));
+        assert_eq!(nearest("ad", ["and", "add"].into_iter()), Some("and"));
+    }
+
+    #[test]
+    fn distance_budget_scales_with_length() {
+        // Short targets get a budget of 2.
+        assert_eq!(nearest("xy", ["ab"].into_iter()), Some("ab"));
+        assert_eq!(nearest("xyz", ["abc"].into_iter()), None);
+        // Long targets get len/3.
+        let long = "abcdefghijkl";
+        assert_eq!(nearest("abcdefgh_jkl", [long].into_iter()), Some(long));
+    }
+}

@@ -252,6 +252,15 @@ impl InstructionSet {
             .position(|f| f.name == name)
             .map(|i| InstId(i as u32))
     }
+
+    /// Builds a name → id lookup table over every form, for callers that
+    /// resolve many names against the same set — e.g. the `pmevo-x86`
+    /// ingestion front end mapping normalized mnemonic keys onto forms.
+    /// Form names are unique within a set (asserted by the generators'
+    /// tests), so the map is total over the set.
+    pub fn name_map(&self) -> std::collections::HashMap<&str, InstId> {
+        self.iter().map(|(id, f)| (f.name.as_str(), id)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +301,11 @@ mod tests {
         assert!(!isa.is_empty());
         assert_eq!(isa.find("ld_r64_m64"), Some(InstId(1)));
         assert_eq!(isa.find("nope"), None);
+        let map = isa.name_map();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get("add_r64_r64"), Some(&InstId(0)));
+        assert_eq!(map.get("ld_r64_m64"), Some(&InstId(1)));
+        assert_eq!(map.get("nope"), None);
         assert_eq!(isa.form(InstId(0)).name, "add_r64_r64");
         assert_eq!(isa.ids().count(), 2);
         assert_eq!(isa.iter().count(), 2);

@@ -141,13 +141,26 @@ impl StoredMapping {
 
     /// Parses one line of the sequence grammar
     /// ([`pmevo_core::parse_sequence`]) against this mapping's
-    /// instruction names.
+    /// instruction names. An unknown-instruction error carries the
+    /// nearest known name as a suggestion, so every serving front end —
+    /// the offline pipe and the daemon both parse through here — reports
+    /// typos identically.
     ///
     /// # Errors
     ///
     /// See [`SequenceParseError`].
     pub fn parse(&self, line: &str) -> Result<Experiment, SequenceParseError> {
-        parse_sequence(line, |name| self.resolve(name))
+        parse_sequence(line, |name| self.resolve(name)).map_err(|e| match e {
+            SequenceParseError::UnknownInstruction { name, suggestion: None } => {
+                let suggestion = pmevo_core::suggest::nearest(
+                    &name,
+                    self.inst_names.iter().map(String::as_str),
+                )
+                .map(str::to_owned);
+                SequenceParseError::UnknownInstruction { name, suggestion }
+            }
+            other => other,
+        })
     }
 }
 

@@ -19,8 +19,8 @@
 //!   lines), so a client's response stream is byte-identical to the
 //!   offline run of the same lines; or
 //! * a **control line** starting with `!`
-//!   ([`pmevo_core::parse_control`]): `!stats`, `!reload NAME=file.json`
-//!   or `!shutdown`.
+//!   ([`pmevo_core::parse_control`]): `!stats`, `!mappings`,
+//!   `!reload NAME=file.json` or `!shutdown`.
 //!
 //! ## Architecture
 //!

@@ -617,6 +617,7 @@ fn run_control(shared: &Shared, submission: Submission) -> Flow {
     };
     let (record, flow) = match verb {
         ControlVerb::Stats => (stats_record(shared, submission.line), Flow::Continue),
+        ControlVerb::Mappings => (mappings_record(shared, submission.line), Flow::Continue),
         ControlVerb::Reload { name, path } => (reload(shared, submission.line, name, path), Flow::Continue),
         ControlVerb::Shutdown => {
             shared.shutdown.store(true, Ordering::Relaxed);
@@ -654,6 +655,29 @@ fn reload(shared: &Shared, line: u64, name: &str, path: &str) -> String {
             ServeRecord::Error { line, message: format!("reload failed: {message}") }.to_json_line()
         }
     }
+}
+
+/// The `!mappings` response: every loaded mapping as a `name@version`
+/// label with its per-mapping query count, in store order (load order).
+/// A slimmer view than `!stats` for clients that only need to know what
+/// the daemon can route to — e.g. the serve smoke script checking verb
+/// wiring.
+fn mappings_record(shared: &Shared, line: u64) -> String {
+    let mappings = shared
+        .predictor
+        .per_mapping_queries()
+        .into_iter()
+        .map(|(label, queries)| {
+            Value::Obj(vec![
+                ("mapping".into(), Value::Str(label)),
+                ("queries".into(), Value::UInt(queries)),
+            ])
+        })
+        .collect();
+    json::write_compact(&Value::Obj(vec![
+        ("line".into(), Value::UInt(line)),
+        ("mappings".into(), Value::Arr(mappings)),
+    ]))
 }
 
 /// The `!stats` response: predictor counters, daemon counters, QPS, the

@@ -1,0 +1,53 @@
+//! Real-ISA ingestion front end for PMEvo serving (`pmevo-x86`).
+//!
+//! PMEvo's inference and serving layers speak *instruction forms*
+//! (`add_r64_r64`) — the normalized vocabulary of the paper's §4.1. Real
+//! workloads arrive as disassembled text. This crate bridges the gap:
+//!
+//! * [`parse`] — a shallow tokenizer for x86-64 disassembly in both
+//!   AT&T (`addq %rax, %rbx`) and Intel (`add rbx, rax`) syntax, with
+//!   1-based line/column error positions,
+//! * [`mod@normalize`] — dialect-independent canonicalization: AVX `v`
+//!   prefixes and AT&T width suffixes stripped, operands reordered to
+//!   destination-first, operand *shapes* (reg/imm/mem + width) extracted,
+//! * [`uarch`] — per-microarchitecture mapping tables built by feature
+//!   accretion (`x86_base().with_cmov()...`) that resolve canonical
+//!   instructions onto a platform's [`pmevo_isa::InstructionSet`],
+//!   including a cross-ISA translation table for replaying x86 corpora
+//!   on the ARM-flavoured A72 form universe, with every non-resolution
+//!   attributed to a stable reason,
+//! * [`corpus`] / [`mod@replay`] — BHive-style basic-block corpora: one
+//!   block = one [`pmevo_core::Experiment`], streamed through a
+//!   [`pmevo_predict::Predictor`] in a single batch with byte-
+//!   deterministic coverage accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use pmevo_isa::synth::synthetic_x86;
+//! use pmevo_x86::{normalize, parse_line, skl, Resolver};
+//!
+//! let isa = synthetic_x86();
+//! let resolver = Resolver::new(skl(), &isa);
+//! for line in ["addq %rax, %rbx", "add rbx, rax"] {
+//!     let inst = normalize(&parse_line(line).unwrap().unwrap());
+//!     let id = resolver.resolve(&inst).unwrap();
+//!     assert_eq!(isa.form(id).name, "add_r64_r64");
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod corpus;
+pub mod normalize;
+pub mod parse;
+pub mod replay;
+pub mod uarch;
+
+pub use corpus::{parse_corpus, synthetic_corpus, Block};
+pub use normalize::{normalize, NormInst, Shape};
+pub use parse::{parse_line, Operand, ParseError, ParsedInst, ParsedOperand, Syntax};
+pub use replay::{
+    accounting_json, replay, Accounting, BlockOutcome, BlockResult, Replay, MALFORMED_LINE,
+};
+pub use uarch::{a72, by_name, registry, skl, zen, Extension, Resolver, UarchTable, Unmapped};

@@ -1,0 +1,219 @@
+//! Mnemonic and operand-shape normalization: from a lexed line to a
+//! dialect-independent instruction description.
+//!
+//! Normalization makes the two dialects of the same instruction
+//! indistinguishable — `addq %rax, %rbx` and `add rbx, rax` produce the
+//! same [`NormInst`] — so resolution ([`crate::uarch`]) only ever sees
+//! one canonical spelling:
+//!
+//! * the mnemonic is canonicalized (AVX `v` prefix stripped, AT&T width
+//!   suffix stripped, `movz*` aliases folded to `movzx`),
+//! * operands are reordered to destination-first (Intel order),
+//! * each operand is reduced to its [`Shape`], with memory widths
+//!   inferred from explicit hints, the AT&T width suffix, or the widest
+//!   register operand, in that order.
+
+use crate::parse::{Operand, ParsedInst, Syntax};
+use crate::uarch::registry;
+
+/// The resolution-relevant shape of one operand, destination-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// General-purpose register of the given width in bits.
+    R(u32),
+    /// Vector register of the given width in bits.
+    V(u32),
+    /// Immediate constant.
+    I,
+    /// Memory reference.
+    M {
+        /// Access width in bits.
+        bits: u32,
+        /// Whether the address uses an index register.
+        has_index: bool,
+    },
+}
+
+/// A dialect-independent instruction: canonical mnemonic plus operand
+/// shapes in destination-first order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormInst {
+    /// Canonical mnemonic (`add`, `paddd`, `movzx`, ...). For unknown
+    /// mnemonics this is the raw lower-cased spelling, kept for error
+    /// reporting and typo suggestions.
+    pub mnemonic: String,
+    /// Whether the canonical mnemonic is in the x86 [`registry`].
+    pub known: bool,
+    /// Operand shapes, destination first.
+    pub shapes: Vec<Shape>,
+}
+
+/// Canonicalizes a raw lower-case mnemonic: returns the registry
+/// spelling plus the operand width in bits encoded by a stripped AT&T
+/// suffix, if any.
+///
+/// Resolution order matters: an exact registry hit always wins (so
+/// `cmovl` is the signed-less conditional move, not `cmov` + `l`
+/// suffix), then the AVX `v` prefix is tried, then the AT&T `b`/`w`/
+/// `l`/`q` width suffix, then both together.
+fn canonical_mnemonic(raw: &str, syntax: Syntax) -> (String, bool, Option<u32>) {
+    // movzbl/movzbq/movzwl/movzwq (AT&T) and movzx (Intel) are one
+    // family; the AT&T aliases encode the *source* width in their first
+    // suffix letter, matching Intel's `byte ptr`/`word ptr` hint.
+    if raw == "movzx" {
+        return ("movzx".to_string(), true, None);
+    }
+    if raw.len() == 6 {
+        if let Some(bits) = [("movzb", 8), ("movzw", 16)]
+            .iter()
+            .find_map(|&(p, bits)| raw.starts_with(p).then_some(bits))
+        {
+            return ("movzx".to_string(), true, Some(bits));
+        }
+    }
+    let reg = registry();
+    if reg.contains_key(raw) {
+        return (raw.to_string(), true, None);
+    }
+    let unprefixed = raw.strip_prefix('v').filter(|rest| reg.contains_key(*rest));
+    if let Some(rest) = unprefixed {
+        return (rest.to_string(), true, None);
+    }
+    if syntax == Syntax::Att && raw.len() > 1 {
+        let (stem, suffix) = raw.split_at(raw.len() - 1);
+        let bits = match suffix {
+            "b" => Some(8),
+            "w" => Some(16),
+            "l" => Some(32),
+            "q" => Some(64),
+            _ => None,
+        };
+        if bits.is_some() {
+            if reg.contains_key(stem) {
+                return (stem.to_string(), true, bits);
+            }
+            if let Some(unprefixed) = stem.strip_prefix('v').filter(|s| reg.contains_key(*s)) {
+                return (unprefixed.to_string(), true, bits);
+            }
+        }
+    }
+    (raw.to_string(), false, None)
+}
+
+/// Normalizes a parsed instruction to its canonical, dest-first form.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_x86::normalize::{normalize, Shape};
+/// use pmevo_x86::parse::parse_line;
+///
+/// let att = normalize(&parse_line("addq %rax, %rbx").unwrap().unwrap());
+/// let intel = normalize(&parse_line("add rbx, rax").unwrap().unwrap());
+/// assert_eq!(att, intel);
+/// assert_eq!(att.mnemonic, "add");
+/// assert_eq!(att.shapes, vec![Shape::R(64), Shape::R(64)]);
+/// ```
+pub fn normalize(inst: &ParsedInst) -> NormInst {
+    let (mnemonic, known, suffix_bits) = canonical_mnemonic(&inst.mnemonic, inst.syntax);
+
+    // Memory width inference: explicit hint > AT&T suffix > widest
+    // register operand (vector registers dominate — `movups` moves the
+    // full vector) > 64-bit default.
+    let widest_gpr = inst
+        .operands
+        .iter()
+        .filter_map(|o| match o.op {
+            Operand::Reg { vec: false, bits, .. } => Some(bits),
+            _ => None,
+        })
+        .max();
+    let widest_vec = inst
+        .operands
+        .iter()
+        .filter_map(|o| match o.op {
+            Operand::Reg { vec: true, bits, .. } => Some(bits),
+            _ => None,
+        })
+        .max();
+    let inferred = widest_vec.or(widest_gpr).or(suffix_bits).unwrap_or(64);
+
+    let mut shapes: Vec<Shape> = inst
+        .operands
+        .iter()
+        .map(|o| match o.op {
+            Operand::Reg { vec: false, bits, .. } => Shape::R(bits),
+            Operand::Reg { vec: true, bits, .. } => Shape::V(bits),
+            Operand::Imm => Shape::I,
+            Operand::Mem { has_index, width_hint } => Shape::M {
+                bits: width_hint.or(suffix_bits).unwrap_or(inferred),
+                has_index,
+            },
+        })
+        .collect();
+    if inst.syntax == Syntax::Att {
+        shapes.reverse();
+    }
+    NormInst { mnemonic, known, shapes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_line;
+
+    fn norm(line: &str) -> NormInst {
+        normalize(&parse_line(line).unwrap().unwrap())
+    }
+
+    #[test]
+    fn att_and_intel_spellings_normalize_identically() {
+        for (att, intel) in [
+            ("addq %rax, %rbx", "add rbx, rax"),
+            ("subl $4, %eax", "sub eax, 4"),
+            ("movq (%rdi), %rax", "mov rax, qword ptr [rdi]"),
+            ("movq %rax, (%rdi)", "mov qword ptr [rdi], rax"),
+            ("vpaddd %xmm2, %xmm1, %xmm0", "vpaddd xmm0, xmm1, xmm2"),
+            ("leaq (%rax,%rbx,8), %rcx", "lea rcx, [rax+rbx*8]"),
+            ("imulq $3, %rbx, %rax", "imul rax, rbx, 3"),
+        ] {
+            assert_eq!(norm(att), norm(intel), "{att} vs {intel}");
+        }
+    }
+
+    #[test]
+    fn avx_prefix_and_width_suffixes_strip() {
+        assert_eq!(norm("vaddps %ymm1, %ymm2, %ymm0").mnemonic, "addps");
+        assert_eq!(norm("addq %rax, %rbx").mnemonic, "add");
+        assert_eq!(norm("incl %eax").mnemonic, "inc");
+        // Exact registry hits win over suffix stripping.
+        assert_eq!(norm("cmovl %eax, %ebx").mnemonic, "cmovl");
+        // movz* aliases fold to movzx.
+        assert_eq!(norm("movzbl (%rdi), %eax").mnemonic, "movzx");
+        assert_eq!(norm("movzx eax, byte ptr [rdi]").mnemonic, "movzx");
+    }
+
+    #[test]
+    fn unknown_mnemonics_are_flagged_not_rejected() {
+        let n = norm("addd %rax, %rbx");
+        assert!(!n.known);
+        assert_eq!(n.mnemonic, "addd");
+    }
+
+    #[test]
+    fn memory_width_inference_prefers_hint_then_suffix_then_registers() {
+        assert_eq!(
+            norm("add rbx, dword ptr [rax]").shapes[1],
+            Shape::M { bits: 32, has_index: false }
+        );
+        // AT&T: suffix drives the width when no hint exists.
+        assert_eq!(norm("addq (%rax), %rbx").shapes[1], Shape::M { bits: 64, has_index: false });
+        // Suffix-less AT&T memory width falls back to the register.
+        assert_eq!(norm("add (%rax), %ebx").shapes[1], Shape::M { bits: 32, has_index: false });
+        // Vector moves use the vector width.
+        assert_eq!(
+            norm("movups %xmm0, (%rax)").shapes[0],
+            Shape::M { bits: 128, has_index: false }
+        );
+    }
+}

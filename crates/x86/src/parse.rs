@@ -1,0 +1,419 @@
+//! Tokenizer for disassembled x86-64 text in AT&T or Intel syntax.
+//!
+//! The parser is deliberately shallow: it recognizes the lexical shape of
+//! an instruction line — mnemonic plus register/immediate/memory operands
+//! — and nothing about semantics. Semantic normalization (canonical
+//! mnemonics, operand shapes) lives in [`mod@crate::normalize`]; resolution
+//! onto platform instruction forms lives in [`crate::uarch`]. Every error
+//! carries a 1-based column so front ends can point at the offending
+//! token.
+
+use std::fmt;
+
+/// The assembly dialect a line is written in.
+///
+/// Detected per line: any `%`-prefixed register means AT&T, everything
+/// else is treated as Intel. Mixed corpora therefore parse without any
+/// global mode switch, like real disassembler output concatenated from
+/// different tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Syntax {
+    /// AT&T syntax (`addq %rax, %rbx`): `%` registers, `$` immediates,
+    /// source before destination, width suffix on the mnemonic.
+    Att,
+    /// Intel syntax (`add rbx, rax`): bare registers, destination first,
+    /// optional `qword ptr [...]` width prefixes on memory operands.
+    Intel,
+}
+
+/// One lexical operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A register reference.
+    Reg {
+        /// Canonical lower-case register name without the AT&T `%`.
+        name: String,
+        /// Whether this is a vector register (`xmm`/`ymm`/`zmm`).
+        vec: bool,
+        /// Register width in bits (8/16/32/64 scalar, 128/256/512 vector).
+        bits: u32,
+    },
+    /// An immediate constant. The value is irrelevant to throughput
+    /// prediction, so it is not kept.
+    Imm,
+    /// A memory reference.
+    Mem {
+        /// Whether the address uses an index register (base + index
+        /// addressing) — distinguishes simple from complex `lea`.
+        has_index: bool,
+        /// Access width in bits when the text spells one (`qword ptr`),
+        /// `None` when it must be inferred from context.
+        width_hint: Option<u32>,
+    },
+}
+
+/// An operand plus the 1-based column where its text starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedOperand {
+    /// The operand.
+    pub op: Operand,
+    /// 1-based column of the operand's first character in the line.
+    pub column: usize,
+}
+
+/// One parsed instruction line, still in source operand order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedInst {
+    /// The raw mnemonic, lower-cased, width suffix intact (`addq`).
+    pub mnemonic: String,
+    /// 1-based column of the mnemonic's first character.
+    pub column: usize,
+    /// Operands in *source text order* (AT&T lines are therefore
+    /// source-first; [`crate::normalize()`] flips them to dest-first).
+    pub operands: Vec<ParsedOperand>,
+    /// The detected dialect.
+    pub syntax: Syntax,
+}
+
+/// A lexical error with the 1-based column it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based column of the offending token.
+    pub column: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "column {}: {}", self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Register name → `(bits, is_vector)`, or `None` for unknown names.
+pub fn register_info(name: &str) -> Option<(u32, bool)> {
+    // Vector registers: xmmN / ymmN / zmmN, N in 0..=31.
+    for (prefix, bits) in [("xmm", 128), ("ymm", 256), ("zmm", 512)] {
+        if let Some(n) = name.strip_prefix(prefix) {
+            return valid_reg_number(n, 31).then_some((bits, true));
+        }
+    }
+    // Numbered GPRs: r8..r15 with optional d/w/b suffix.
+    if let Some(rest) = name.strip_prefix('r') {
+        let (digits, bits) = match rest.as_bytes().last() {
+            Some(b'd') => (&rest[..rest.len() - 1], 32),
+            Some(b'w') => (&rest[..rest.len() - 1], 16),
+            Some(b'b') => (&rest[..rest.len() - 1], 8),
+            _ => (rest, 64),
+        };
+        if !digits.is_empty() && digits.chars().all(|c| c.is_ascii_digit()) {
+            let n: u32 = digits.parse().ok()?;
+            return (8..=15).contains(&n).then_some((bits, false));
+        }
+    }
+    let named = match name {
+        "rax" | "rbx" | "rcx" | "rdx" | "rsi" | "rdi" | "rbp" | "rsp" | "rip" => 64,
+        "eax" | "ebx" | "ecx" | "edx" | "esi" | "edi" | "ebp" | "esp" => 32,
+        "ax" | "bx" | "cx" | "dx" | "si" | "di" | "bp" | "sp" => 16,
+        "al" | "bl" | "cl" | "dl" | "ah" | "bh" | "ch" | "dh" | "sil" | "dil" | "bpl" | "spl" => 8,
+        _ => return None,
+    };
+    Some((named, false))
+}
+
+fn valid_reg_number(digits: &str, max: u32) -> bool {
+    !digits.is_empty()
+        && digits.chars().all(|c| c.is_ascii_digit())
+        && digits.parse::<u32>().is_ok_and(|n| n <= max)
+}
+
+/// Whether `s` is a decimal or hex integer literal (optional sign).
+fn is_number(s: &str) -> bool {
+    let s = s.strip_prefix('-').unwrap_or(s);
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return !hex.is_empty() && hex.chars().all(|c| c.is_ascii_hexdigit());
+    }
+    !s.is_empty() && s.chars().all(|c| c.is_ascii_digit())
+}
+
+/// Parses one line of disassembly.
+///
+/// Returns `Ok(None)` for blank lines and `#`/`;` comment lines;
+/// `Ok(Some(_))` for an instruction; `Err` with a 1-based column for
+/// anything lexically malformed.
+///
+/// # Example
+///
+/// ```
+/// use pmevo_x86::parse::{parse_line, Operand, Syntax};
+///
+/// let inst = parse_line("  addq %rax, %rbx").unwrap().unwrap();
+/// assert_eq!(inst.mnemonic, "addq");
+/// assert_eq!(inst.syntax, Syntax::Att);
+/// assert_eq!(inst.operands.len(), 2);
+///
+/// let inst = parse_line("add rbx, rax").unwrap().unwrap();
+/// assert_eq!(inst.syntax, Syntax::Intel);
+/// assert!(matches!(inst.operands[0].op, Operand::Reg { ref name, .. } if name == "rbx"));
+///
+/// assert!(parse_line("# a comment").unwrap().is_none());
+/// assert!(parse_line("add rbx, @x").is_err());
+/// ```
+pub fn parse_line(line: &str) -> Result<Option<ParsedInst>, ParseError> {
+    // Strip trailing comments; `#` (GNU as) and `;` (Intel listings).
+    let code = match line.find(['#', ';']) {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    let trimmed = code.trim_end();
+    let mnemonic_start = trimmed.len() - trimmed.trim_start().len();
+    let body = trimmed.trim_start();
+    if body.is_empty() {
+        return Ok(None);
+    }
+
+    let syntax = if body.contains('%') { Syntax::Att } else { Syntax::Intel };
+    let (mnemonic, rest_offset) = match body.find(char::is_whitespace) {
+        Some(i) => (&body[..i], i),
+        None => (body, body.len()),
+    };
+    if !mnemonic.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+        return Err(ParseError {
+            column: mnemonic_start + 1,
+            message: format!("malformed mnemonic {mnemonic:?}"),
+        });
+    }
+    let rest = &body[rest_offset..];
+    let rest_start = mnemonic_start + rest_offset;
+
+    let mut operands = Vec::new();
+    for (token, token_start) in split_operands(rest, rest_start) {
+        let op = parse_operand(token, token_start + 1, syntax)?;
+        operands.push(ParsedOperand { op, column: token_start + 1 });
+    }
+    Ok(Some(ParsedInst {
+        mnemonic: mnemonic.to_ascii_lowercase(),
+        column: mnemonic_start + 1,
+        operands,
+        syntax,
+    }))
+}
+
+/// Splits the operand list on commas that are not nested inside `()` or
+/// `[]`, yielding `(trimmed_token, 0-based start offset in the line)`.
+fn split_operands(rest: &str, rest_start: usize) -> Vec<(&str, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut field_start = 0usize;
+    let bytes = rest.as_bytes();
+    for i in 0..=bytes.len() {
+        let at_split = i == bytes.len() || (bytes[i] == b',' && depth == 0);
+        if at_split {
+            let raw = &rest[field_start..i];
+            let lead = raw.len() - raw.trim_start().len();
+            let token = raw.trim();
+            // An entirely empty operand list yields nothing; an empty
+            // field next to a comma is a real (malformed) operand.
+            if !token.is_empty() || field_start != 0 || i != bytes.len() {
+                out.push((token, rest_start + field_start + lead));
+            }
+            field_start = i + 1;
+        } else {
+            match bytes[i] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+fn parse_operand(token: &str, column: usize, syntax: Syntax) -> Result<Operand, ParseError> {
+    if token.is_empty() {
+        return Err(ParseError { column, message: "empty operand".to_string() });
+    }
+    match syntax {
+        Syntax::Att => parse_att_operand(token, column),
+        Syntax::Intel => parse_intel_operand(token, column),
+    }
+}
+
+fn parse_att_operand(token: &str, column: usize) -> Result<Operand, ParseError> {
+    if let Some(reg) = token.strip_prefix('%') {
+        let name = reg.to_ascii_lowercase();
+        let (bits, vec) = register_info(&name).ok_or_else(|| ParseError {
+            column,
+            message: format!("unknown register %{name}"),
+        })?;
+        return Ok(Operand::Reg { name, vec, bits });
+    }
+    if token.starts_with('$') {
+        return Ok(Operand::Imm);
+    }
+    if let Some(open) = token.find('(') {
+        let Some(inner) = token[open + 1..].strip_suffix(')') else {
+            return Err(ParseError { column, message: format!("unclosed memory operand {token:?}") });
+        };
+        let disp = &token[..open];
+        if !disp.is_empty() && !is_number(disp) {
+            return Err(ParseError {
+                column,
+                message: format!("malformed displacement {disp:?}"),
+            });
+        }
+        // `disp(base)`, `disp(base,index)` or `disp(base,index,scale)`.
+        let has_index = inner.split(',').nth(1).is_some_and(|f| !f.trim().is_empty());
+        return Ok(Operand::Mem { has_index, width_hint: None });
+    }
+    if is_number(token) {
+        // Absolute address, e.g. `movq %rax, 4096`.
+        return Ok(Operand::Mem { has_index: false, width_hint: None });
+    }
+    Err(ParseError { column, message: format!("unrecognized operand {token:?}") })
+}
+
+fn parse_intel_operand(token: &str, column: usize) -> Result<Operand, ParseError> {
+    let lower = token.to_ascii_lowercase();
+    // `qword ptr [rax]`-style width prefixes.
+    let (width_hint, mem_text) = match lower.split_once("ptr") {
+        Some((width, rest)) => {
+            let hint = match width.trim() {
+                "byte" => 8,
+                "word" => 16,
+                "dword" => 32,
+                "qword" => 64,
+                "xmmword" => 128,
+                "ymmword" => 256,
+                other => {
+                    return Err(ParseError {
+                        column,
+                        message: format!("unknown width specifier {other:?}"),
+                    })
+                }
+            };
+            (Some(hint), rest.trim_start())
+        }
+        None => (None, lower.as_str()),
+    };
+    if let Some(addr) = mem_text.strip_prefix('[') {
+        let Some(inner) = addr.strip_suffix(']') else {
+            return Err(ParseError { column, message: format!("unclosed memory operand {token:?}") });
+        };
+        // `[base]`, `[base+disp]`, `[base+index*scale]`, ... — an index
+        // register is present when a second register name appears.
+        let regs = inner
+            .split(['+', '-', '*'])
+            .filter(|part| register_info(part.trim()).is_some())
+            .count();
+        return Ok(Operand::Mem { has_index: regs >= 2 || inner.contains('*'), width_hint });
+    }
+    if width_hint.is_some() {
+        return Err(ParseError {
+            column,
+            message: format!("width specifier without memory operand in {token:?}"),
+        });
+    }
+    if let Some((bits, vec)) = register_info(&lower) {
+        return Ok(Operand::Reg { name: lower, vec, bits });
+    }
+    if is_number(&lower) {
+        return Ok(Operand::Imm);
+    }
+    Err(ParseError { column, message: format!("unrecognized operand {token:?}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(line: &str) -> ParsedInst {
+        parse_line(line).expect("parses").expect("not blank")
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_skipped() {
+        assert_eq!(parse_line("").unwrap(), None);
+        assert_eq!(parse_line("   ").unwrap(), None);
+        assert_eq!(parse_line("# block 7").unwrap(), None);
+        assert_eq!(parse_line("; intel comment").unwrap(), None);
+        assert_eq!(parse_line("  add rax, rbx # trailing").unwrap().unwrap().mnemonic, "add");
+    }
+
+    #[test]
+    fn att_operands_parse_with_columns() {
+        let i = inst("addq %rax, %rbx");
+        assert_eq!(i.syntax, Syntax::Att);
+        assert_eq!(i.column, 1);
+        assert_eq!(i.operands[0].column, 6);
+        assert_eq!(
+            i.operands[0].op,
+            Operand::Reg { name: "rax".into(), vec: false, bits: 64 }
+        );
+        assert_eq!(i.operands[1].column, 12);
+
+        let i = inst("movq 8(%rsp), %rcx");
+        assert_eq!(i.operands[0].op, Operand::Mem { has_index: false, width_hint: None });
+        let i = inst("leaq (%rax,%rbx,4), %rdx");
+        assert_eq!(i.operands[0].op, Operand::Mem { has_index: true, width_hint: None });
+        let i = inst("addl $42, %eax");
+        assert_eq!(i.operands[0].op, Operand::Imm);
+    }
+
+    #[test]
+    fn intel_operands_parse_with_width_hints() {
+        let i = inst("add rbx, qword ptr [rax+8]");
+        assert_eq!(i.syntax, Syntax::Intel);
+        assert_eq!(i.operands[1].op, Operand::Mem { has_index: false, width_hint: Some(64) });
+        let i = inst("mov eax, dword ptr [rbx+rcx*4]");
+        assert_eq!(i.operands[1].op, Operand::Mem { has_index: true, width_hint: Some(32) });
+        let i = inst("movups xmm0, [rax]");
+        assert_eq!(i.operands[0].op, Operand::Reg { name: "xmm0".into(), vec: true, bits: 128 });
+        let i = inst("add rax, 7");
+        assert_eq!(i.operands[1].op, Operand::Imm);
+    }
+
+    #[test]
+    fn register_table_covers_all_widths() {
+        assert_eq!(register_info("rax"), Some((64, false)));
+        assert_eq!(register_info("r10"), Some((64, false)));
+        assert_eq!(register_info("r10d"), Some((32, false)));
+        assert_eq!(register_info("r10w"), Some((16, false)));
+        assert_eq!(register_info("r10b"), Some((8, false)));
+        assert_eq!(register_info("al"), Some((8, false)));
+        assert_eq!(register_info("ymm15"), Some((256, true)));
+        assert_eq!(register_info("zmm0"), Some((512, true)));
+        assert_eq!(register_info("r16"), None);
+        assert_eq!(register_info("xmm32"), None);
+        assert_eq!(register_info("foo"), None);
+    }
+
+    #[test]
+    fn errors_carry_one_based_columns() {
+        let e = parse_line("addq %rax, %nope").unwrap_err();
+        assert_eq!(e.column, 12);
+        assert!(e.message.contains("unknown register"));
+
+        let e = parse_line("add rbx, @x").unwrap_err();
+        assert_eq!(e.column, 10);
+        assert!(e.message.contains("unrecognized operand"));
+
+        let e = parse_line("mov rax,").unwrap_err();
+        assert!(e.message.contains("empty operand"));
+
+        let e = parse_line("add rax, qqword ptr [rbx]").unwrap_err();
+        assert!(e.message.contains("unknown width specifier"));
+
+        let e = parse_line("movq 8(%rsp, %rax").unwrap_err();
+        assert!(e.message.contains("unclosed"));
+    }
+
+    #[test]
+    fn zero_operand_lines_parse() {
+        let i = inst("nop");
+        assert!(i.operands.is_empty());
+        assert_eq!(i.syntax, Syntax::Intel);
+    }
+}

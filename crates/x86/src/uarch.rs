@@ -1,0 +1,763 @@
+//! Per-microarchitecture mapping tables and form resolution.
+//!
+//! The front end knows one *registry* of canonical x86-64 mnemonics,
+//! grouped by the ISA extension they belong to, and one *table* per
+//! supported microarchitecture. Tables are built by feature accretion: a
+//! base table covering the scalar core is extended per uarch with the
+//! extensions that chip implements (`x86_base().with_cmov()...`), so the
+//! difference between two uarchs is readable as the difference between
+//! two builder chains. A mnemonic that is in the registry but not in a
+//! uarch's table is *unavailable on that uarch* — reported as
+//! [`Unmapped::MissingExtension`] rather than as a typo.
+//!
+//! Resolution turns a normalized instruction into an [`InstId`] of the
+//! target platform's instruction set by generating candidate form keys
+//! (`add` + `[R(64), R(64)]` → `add_r64_r64`) and looking them up in the
+//! set's name table. The A72 table translates x86 mnemonics onto the
+//! ARM-flavoured form names of the synthetic ARMv8 set (`paddd` →
+//! `add_4s_v128_v128_v128`), making cross-ISA replay of an x86 corpus on
+//! an ARM port mapping possible; x86 instructions with no single-ARM-
+//! instruction equivalent surface in the unmapped accounting instead of
+//! being silently dropped.
+
+use crate::normalize::{NormInst, Shape};
+use pmevo_core::suggest;
+use pmevo_core::InstId;
+use pmevo_isa::InstructionSet;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// The ISA extension a registry mnemonic belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Extension {
+    /// The scalar integer core: ALU, shifts, multiplies, divides, moves.
+    Base,
+    /// Conditional moves (`cmovcc`).
+    Cmov,
+    /// Bit-count instructions (`popcnt`, `lzcnt`, `tzcnt`).
+    Popcnt,
+    /// 128-bit vector instructions (SSE family).
+    Sse,
+    /// 256-bit vector width (AVX family).
+    Avx,
+    /// Fused multiply-add (`fmadd213*`).
+    Fma,
+}
+
+impl fmt::Display for Extension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Extension::Base => "base",
+            Extension::Cmov => "cmov",
+            Extension::Popcnt => "popcnt",
+            Extension::Sse => "sse",
+            Extension::Avx => "avx",
+            Extension::Fma => "fma",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Canonical x86-64 mnemonic → owning [`Extension`], for every mnemonic
+/// the front end understands. Anything outside this map is an unknown
+/// mnemonic (a typo or an instruction outside the reproduction's form
+/// universe) and gets a nearest-known suggestion.
+pub fn registry() -> &'static BTreeMap<&'static str, Extension> {
+    static REGISTRY: OnceLock<BTreeMap<&'static str, Extension>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut m = BTreeMap::new();
+        for name in [
+            "add", "sub", "and", "or", "xor", "cmp", "test", "mov", "inc", "dec", "neg", "not",
+            "adc", "sbb", "shl", "shr", "sar", "rol", "ror", "shld", "shrd", "lea", "imul", "mul",
+            "div", "idiv", "bt", "btc", "btr", "bts", "movzx",
+        ] {
+            m.insert(name, Extension::Base);
+        }
+        for name in ["cmove", "cmovne", "cmovl", "cmovg"] {
+            m.insert(name, Extension::Cmov);
+        }
+        for name in ["popcnt", "lzcnt", "tzcnt"] {
+            m.insert(name, Extension::Popcnt);
+        }
+        for name in [
+            "paddb", "paddw", "paddd", "paddq", "psubb", "psubw", "psubd", "psubq", "pand", "por",
+            "pxor", "pcmpeqd", "pminsd", "pmaxsd", "addps", "addpd", "subps", "subpd", "pmulld",
+            "pmullw", "mulps", "mulpd", "divps", "divpd", "sqrtps", "sqrtpd", "pshufd", "pshufb",
+            "punpcklbw", "punpckhbw", "palignr", "pblendw", "permilps", "unpcklps", "cvtdq2ps",
+            "cvtps2dq", "cvtpd2ps", "cvtps2pd", "cvtsi2ss", "cvtsi2sd", "cvtss2si", "cvtsd2si",
+            "movups", "movaps", "movdqu",
+        ] {
+            m.insert(name, Extension::Sse);
+        }
+        for name in ["fmadd213ps", "fmadd213pd"] {
+            m.insert(name, Extension::Fma);
+        }
+        m
+    })
+}
+
+/// How a table's entries translate into candidate form keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KeyStyle {
+    /// Native x86 form names (`add_r64_r64`, `paddd_v128_v128_v128`).
+    X86,
+    /// ARM-flavoured form names of the synthetic ARMv8 set
+    /// (`add_r64_r64_r64`, `add_4s_v128_v128_v128`) — each entry's value
+    /// is the translated target mnemonic.
+    Arm,
+}
+
+/// One microarchitecture's mapping table: which registry mnemonics the
+/// chip implements, at what maximum vector width, and how they spell
+/// themselves as instruction-form keys.
+#[derive(Debug, Clone)]
+pub struct UarchTable {
+    name: &'static str,
+    platform: &'static str,
+    style: KeyStyle,
+    max_vec_bits: u32,
+    entries: BTreeMap<&'static str, &'static str>,
+}
+
+impl UarchTable {
+    /// The uarch's lower-case name (`"skl"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The matching platform name in `pmevo_machine::platforms`
+    /// (`"SKL"`), i.e. the mapping-store name corpus replay routes to.
+    pub fn platform(&self) -> &'static str {
+        self.platform
+    }
+
+    /// The widest vector register the uarch supports, in bits (0 when
+    /// the table has no vector extension at all).
+    pub fn max_vec_bits(&self) -> u32 {
+        self.max_vec_bits
+    }
+
+    /// The scalar x86 core every x86 uarch starts from.
+    fn x86_base() -> UarchTable {
+        let mut t = UarchTable {
+            name: "x86-base",
+            platform: "",
+            style: KeyStyle::X86,
+            max_vec_bits: 0,
+            entries: BTreeMap::new(),
+        };
+        t.insert_identity(Extension::Base);
+        t
+    }
+
+    /// Every registry mnemonic of `ext`, spelled natively.
+    fn insert_identity(&mut self, ext: Extension) {
+        for (&name, &e) in registry() {
+            if e == ext {
+                self.entries.insert(name, name);
+            }
+        }
+    }
+
+    fn with_cmov(mut self) -> Self {
+        self.insert_identity(Extension::Cmov);
+        self
+    }
+
+    fn with_popcnt(mut self) -> Self {
+        self.insert_identity(Extension::Popcnt);
+        self
+    }
+
+    fn with_sse(mut self) -> Self {
+        self.insert_identity(Extension::Sse);
+        self.max_vec_bits = self.max_vec_bits.max(128);
+        self
+    }
+
+    fn with_avx(mut self) -> Self {
+        self.max_vec_bits = self.max_vec_bits.max(256);
+        self
+    }
+
+    fn with_fma(mut self) -> Self {
+        self.insert_identity(Extension::Fma);
+        self
+    }
+
+    /// The scalar ARMv8 core: x86 mnemonic → translated ARM mnemonic.
+    /// The flag-carry (`adc`/`sbb`), double-shift (`shld`/`shrd`) and
+    /// bit-test (`bt*`) families have no entry — no single ARM
+    /// instruction in the form universe expresses them, so they stay
+    /// visible in the unmapped accounting as `missing_extension(base)`.
+    fn arm_base() -> UarchTable {
+        let mut t = UarchTable {
+            name: "arm-base",
+            platform: "",
+            style: KeyStyle::Arm,
+            max_vec_bits: 0,
+            entries: BTreeMap::new(),
+        };
+        for (x86, arm) in [
+            ("add", "add"),
+            ("sub", "sub"),
+            ("and", "and"),
+            ("or", "orr"),
+            ("xor", "eor"),
+            ("cmp", "subs"),
+            ("test", "ands"),
+            ("mov", "mov"),
+            ("inc", "add"),
+            ("dec", "sub"),
+            ("neg", "sub"),
+            ("not", "orn"),
+            ("shl", "lsl"),
+            ("shr", "lsr"),
+            ("sar", "asr"),
+            ("rol", "ror"),
+            ("ror", "ror"),
+            ("lea", "add"),
+            ("imul", "mul"),
+            ("mul", "umulh"),
+            ("div", "udiv"),
+            ("idiv", "sdiv"),
+            ("movzx", "ldr"),
+        ] {
+            t.entries.insert(x86, arm);
+        }
+        t
+    }
+
+    /// Conditional moves translate to conditional select.
+    fn with_csel(mut self) -> Self {
+        for cc in ["cmove", "cmovne", "cmovl", "cmovg"] {
+            self.entries.insert(cc, "csel");
+        }
+        self
+    }
+
+    /// `lzcnt` is `clz`; `popcnt`/`tzcnt` need multi-instruction
+    /// expansions on this core and are deliberately left out.
+    fn with_bitcount(mut self) -> Self {
+        self.entries.insert("lzcnt", "clz");
+        self
+    }
+
+    /// The SSE subset with NEON equivalents, plus FMA (`fmla`).
+    /// `pblendw`/`permilps` have no single-NEON translation and are left
+    /// out.
+    fn with_neon(mut self) -> Self {
+        for (x86, arm) in [
+            ("paddb", "add_16b"),
+            ("paddw", "add_8h"),
+            ("paddd", "add_4s"),
+            ("paddq", "add_2d"),
+            ("psubb", "sub_16b"),
+            ("psubw", "sub_8h"),
+            ("psubd", "sub_4s"),
+            ("psubq", "sub_2d"),
+            ("pand", "and_v"),
+            ("por", "orr_v"),
+            ("pxor", "eor_v"),
+            ("pcmpeqd", "cmeq_4s"),
+            ("pminsd", "smin_4s"),
+            ("pmaxsd", "smax_4s"),
+            ("addps", "fadd_4s"),
+            ("addpd", "fadd_2d"),
+            ("subps", "fsub_4s"),
+            ("subpd", "fsub_2d"),
+            ("pmulld", "mul_4s"),
+            ("pmullw", "mul_8h"),
+            ("mulps", "fmul_4s"),
+            ("mulpd", "fmul_2d"),
+            ("divps", "fdiv_4s"),
+            ("divpd", "fdiv_2d"),
+            ("sqrtps", "fsqrt_4s"),
+            ("sqrtpd", "fsqrt_2d"),
+            ("pshufd", "dup_4s"),
+            ("pshufb", "tbl"),
+            ("punpcklbw", "zip1"),
+            ("punpckhbw", "zip2"),
+            ("palignr", "ext"),
+            ("unpcklps", "zip1"),
+            ("cvtdq2ps", "scvtf_4s"),
+            ("cvtps2dq", "fcvtzs_4s"),
+            ("cvtpd2ps", "fcvtn"),
+            ("cvtps2pd", "fcvtl"),
+            ("cvtsi2ss", "scvtf"),
+            ("cvtsi2sd", "scvtf"),
+            ("cvtss2si", "fcvtzs"),
+            ("cvtsd2si", "fcvtzs"),
+            ("movups", "ldr_q"),
+            ("movaps", "ldr_q"),
+            ("movdqu", "ldr_q"),
+            ("fmadd213ps", "fmla_4s"),
+            ("fmadd213pd", "fmla_2d"),
+        ] {
+            self.entries.insert(x86, arm);
+        }
+        self.max_vec_bits = self.max_vec_bits.max(128);
+        self
+    }
+
+    fn named(mut self, name: &'static str, platform: &'static str) -> Self {
+        self.name = name;
+        self.platform = platform;
+        self
+    }
+}
+
+/// Intel Skylake: the full x86 feature set of the form universe.
+pub fn skl() -> UarchTable {
+    UarchTable::x86_base()
+        .with_cmov()
+        .with_popcnt()
+        .with_sse()
+        .with_avx()
+        .with_fma()
+        .named("skl", "SKL")
+}
+
+/// AMD Zen: same ISA surface as Skylake in this form universe (the port
+/// mappings differ, not the decoder), built by the same accretion chain.
+pub fn zen() -> UarchTable {
+    UarchTable::x86_base()
+        .with_cmov()
+        .with_popcnt()
+        .with_sse()
+        .with_avx()
+        .with_fma()
+        .named("zen", "ZEN")
+}
+
+/// ARM Cortex-A72: x86 text cross-translated onto the ARMv8 form
+/// universe — 128-bit NEON only, no flag-carry/bit-test families, no
+/// `popcnt`/`tzcnt`.
+pub fn a72() -> UarchTable {
+    UarchTable::arm_base().with_csel().with_bitcount().with_neon().named("a72", "A72")
+}
+
+/// Looks up a uarch table by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<UarchTable> {
+    match name.to_ascii_lowercase().as_str() {
+        "skl" => Some(skl()),
+        "zen" => Some(zen()),
+        "a72" => Some(a72()),
+        _ => None,
+    }
+}
+
+/// Why an instruction did not resolve onto the target platform.
+///
+/// Every non-resolution has exactly one of these reasons; corpus replay
+/// aggregates them so coverage loss is always attributable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unmapped {
+    /// The mnemonic is not in the [`registry`] at all.
+    UnknownMnemonic {
+        /// The canonical (lower-cased, suffix-stripped) spelling.
+        mnemonic: String,
+        /// The nearest registry mnemonic, if one is plausibly meant.
+        suggestion: Option<String>,
+    },
+    /// The mnemonic is known and available, but no form of the target
+    /// platform matches this operand shape.
+    UnsupportedOperands {
+        /// The canonical mnemonic.
+        mnemonic: String,
+        /// The first candidate form key that was tried.
+        key: String,
+    },
+    /// The target uarch does not implement the mnemonic (or the vector
+    /// width) — its table never grew the relevant extension.
+    MissingExtension {
+        /// The canonical mnemonic.
+        mnemonic: String,
+        /// The extension the uarch lacks.
+        extension: Extension,
+    },
+}
+
+impl Unmapped {
+    /// The stable accounting key for this failure class.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Unmapped::UnknownMnemonic { .. } => "unknown_mnemonic",
+            Unmapped::UnsupportedOperands { .. } => "unsupported_operands",
+            Unmapped::MissingExtension { .. } => "missing_extension",
+        }
+    }
+}
+
+impl fmt::Display for Unmapped {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unmapped::UnknownMnemonic { mnemonic, suggestion } => {
+                write!(f, "unknown mnemonic {mnemonic:?}")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean {s:?}?)")?;
+                }
+                Ok(())
+            }
+            Unmapped::UnsupportedOperands { mnemonic, key } => {
+                write!(f, "no form of {mnemonic:?} matches operand shape {key}")
+            }
+            Unmapped::MissingExtension { mnemonic, extension } => {
+                write!(f, "uarch lacks {extension} extension for {mnemonic:?}")
+            }
+        }
+    }
+}
+
+/// Resolves normalized instructions onto one platform's instruction set
+/// for one uarch table. Construction builds the name → id lookup once;
+/// resolution is then allocation-light per instruction.
+pub struct Resolver<'a> {
+    table: UarchTable,
+    names: HashMap<&'a str, InstId>,
+}
+
+impl<'a> Resolver<'a> {
+    /// Builds a resolver for `table` targeting `isa`'s forms.
+    pub fn new(table: UarchTable, isa: &'a InstructionSet) -> Resolver<'a> {
+        Resolver { table, names: isa.name_map() }
+    }
+
+    /// The uarch table this resolver maps onto.
+    pub fn table(&self) -> &UarchTable {
+        &self.table
+    }
+
+    /// Resolves one normalized instruction to a form id, or explains why
+    /// it cannot be.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pmevo_isa::synth::synthetic_x86;
+    /// use pmevo_x86::{normalize, parse_line, skl, Resolver};
+    ///
+    /// let isa = synthetic_x86();
+    /// let r = Resolver::new(skl(), &isa);
+    /// let inst = normalize(&parse_line("addq %rax, %rbx").unwrap().unwrap());
+    /// let id = r.resolve(&inst).unwrap();
+    /// assert_eq!(isa.form(id).name, "add_r64_r64");
+    /// ```
+    pub fn resolve(&self, inst: &NormInst) -> Result<InstId, Unmapped> {
+        let reg = registry();
+        if !inst.known {
+            return Err(Unmapped::UnknownMnemonic {
+                mnemonic: inst.mnemonic.clone(),
+                suggestion: suggest::nearest(&inst.mnemonic, reg.keys().copied())
+                    .map(str::to_owned),
+            });
+        }
+        let extension = reg[inst.mnemonic.as_str()];
+        let widest_vec = inst
+            .shapes
+            .iter()
+            .filter_map(|s| match s {
+                Shape::V(b) => Some(*b),
+                _ => None,
+            })
+            .max();
+        if let Some(v) = widest_vec {
+            if v > self.table.max_vec_bits {
+                // 256-bit on a 128-bit uarch is an AVX gap; any vector at
+                // all on a vector-less table is the base vector extension.
+                let missing =
+                    if self.table.max_vec_bits >= 128 { Extension::Avx } else { Extension::Sse };
+                return Err(Unmapped::MissingExtension {
+                    mnemonic: inst.mnemonic.clone(),
+                    extension: missing,
+                });
+            }
+        }
+        let Some(&target) = self.table.entries.get(inst.mnemonic.as_str()) else {
+            return Err(Unmapped::MissingExtension { mnemonic: inst.mnemonic.clone(), extension });
+        };
+        let candidates = match self.table.style {
+            KeyStyle::X86 => x86_keys(&inst.mnemonic, &inst.shapes),
+            KeyStyle::Arm => arm_keys(&inst.mnemonic, target, &inst.shapes),
+        };
+        for key in &candidates {
+            if let Some(&id) = self.names.get(key.as_str()) {
+                return Ok(id);
+            }
+        }
+        Err(Unmapped::UnsupportedOperands {
+            mnemonic: inst.mnemonic.clone(),
+            key: candidates.into_iter().next().unwrap_or_else(|| direct_key(&inst.mnemonic, &inst.shapes)),
+        })
+    }
+}
+
+/// The literal key for a mnemonic + shape list: `add` + `[R(64), I]` →
+/// `add_r64_i32`. Immediates are always spelled `i32`, matching the form
+/// universe.
+fn direct_key(mnemonic: &str, shapes: &[Shape]) -> String {
+    let mut key = mnemonic.to_string();
+    for s in shapes {
+        key.push('_');
+        match s {
+            Shape::R(b) => key.push_str(&format!("r{b}")),
+            Shape::V(b) => key.push_str(&format!("v{b}")),
+            Shape::I => key.push_str("i32"),
+            Shape::M { bits, .. } => key.push_str(&format!("m{bits}")),
+        }
+    }
+    key
+}
+
+/// Candidate form keys for native x86 tables, most-specific first.
+fn x86_keys(m: &str, shapes: &[Shape]) -> Vec<String> {
+    // Instruction-specific spellings that diverge from the literal key.
+    match (m, shapes) {
+        ("lea", [Shape::R(w), Shape::M { has_index, .. }]) => {
+            return vec![if *has_index {
+                format!("lea3_r{w}_r64_r64")
+            } else {
+                format!("lea_r{w}_r64")
+            }];
+        }
+        // The form universe models zero-extending loads as `movzx_rW_m32`
+        // regardless of source width.
+        ("movzx", [Shape::R(w), Shape::M { .. }]) => return vec![format!("movzx_r{w}_m32")],
+        // One-operand multiply/divide implicitly use rAX/rDX: spelled as
+        // two-operand forms (the widening multiply is the `mulhi` form).
+        ("div" | "idiv", [Shape::R(w)]) => return vec![format!("{m}_r{w}_r{w}")],
+        ("mul" | "imul", [Shape::R(w)]) => return vec![format!("mulhi_r{w}_r{w}")],
+        ("imul", [Shape::R(w), Shape::R(w2), Shape::I]) => {
+            return vec![format!("imul3_r{w}_r{w2}_i32")];
+        }
+        _ => {}
+    }
+    let mut keys = vec![direct_key(m, shapes)];
+    match shapes {
+        // SSE two-operand encodings of three-operand forms (dest doubles
+        // as first source): `paddd xmm0, xmm1` → `paddd_v128_v128_v128`.
+        [Shape::V(a), Shape::V(b)] => keys.push(format!("{m}_v{a}_v{a}_v{b}")),
+        // Shuffles with an immediate selector fold it away:
+        // `pshufd xmm0, xmm1, 0x1b` → `pshufd_v128_v128_v128`.
+        [Shape::V(a), Shape::V(b), Shape::I] => keys.push(format!("{m}_v{a}_v{b}_v{b}")),
+        // AVX three-operand encodings of two-operand forms:
+        // `vdivps ymm0, ymm1, ymm2` → `divps_v256_v256`.
+        [Shape::V(a), Shape::V(b), Shape::V(_)] => keys.push(format!("{m}_v{a}_v{b}")),
+        _ => {}
+    }
+    keys
+}
+
+/// Candidate form keys for the ARM-translated table: `target` is the
+/// translated mnemonic from the uarch entry.
+fn arm_keys(m: &str, target: &str, shapes: &[Shape]) -> Vec<String> {
+    // x86 idioms whose translation depends on the operand shape, not
+    // just the mnemonic.
+    match (m, shapes) {
+        ("mov", [Shape::R(w), Shape::R(_)]) => return vec![format!("orr_r{w}_r{w}_r{w}")],
+        ("mov", [Shape::R(w), Shape::I]) => return vec![format!("mov_r{w}_i32")],
+        ("mov", [Shape::R(w), Shape::M { bits, .. }]) => return vec![format!("ldr_r{w}_m{bits}")],
+        ("mov", [Shape::M { bits, .. }, Shape::R(w)]) => return vec![format!("str_m{bits}_r{w}")],
+        ("movups" | "movaps" | "movdqu", [Shape::V(_), Shape::M { .. }]) => {
+            return vec!["ldr_q_v128_m128".to_string()];
+        }
+        ("movups" | "movaps" | "movdqu", [Shape::M { .. }, Shape::V(_)]) => {
+            return vec!["str_q_m128_v128".to_string()];
+        }
+        // Zero-extending word load.
+        ("movzx", [Shape::R(_), Shape::M { .. }]) => return vec!["ldr_r32_m32".to_string()],
+        // Address arithmetic: register add (indexed) or add-immediate.
+        ("lea", [Shape::R(w), Shape::M { has_index, .. }]) => {
+            return vec![if *has_index {
+                format!("add_r{w}_r{w}_r{w}")
+            } else {
+                format!("add_r{w}_r{w}_i32")
+            }];
+        }
+        ("inc", [Shape::R(w)]) => return vec![format!("add_r{w}_r{w}_i32")],
+        ("dec", [Shape::R(w)]) => return vec![format!("sub_r{w}_r{w}_i32")],
+        ("neg", [Shape::R(w)]) => return vec![format!("sub_r{w}_r{w}_r{w}")],
+        ("not", [Shape::R(w)]) => return vec![format!("orn_r{w}_r{w}_r{w}")],
+        ("div", [Shape::R(w)]) => return vec![format!("udiv_r{w}_r{w}_r{w}")],
+        ("idiv", [Shape::R(w)]) => return vec![format!("sdiv_r{w}_r{w}_r{w}")],
+        // Widening one-operand multiplies are the 64-bit high-half forms.
+        ("mul", [Shape::R(_)]) => return vec!["umulh_r64_r64_r64".to_string()],
+        ("imul", [Shape::R(_)]) => return vec!["smulh_r64_r64_r64".to_string()],
+        ("cvtsi2ss" | "cvtsi2sd", [Shape::V(_), Shape::R(w)]) => {
+            return vec![format!("scvtf_v128_r{w}")];
+        }
+        ("cvtss2si" | "cvtsd2si", [Shape::R(w), Shape::V(_)]) => {
+            return vec![format!("fcvtzs_r{w}_v128")];
+        }
+        _ => {}
+    }
+    match shapes {
+        // Two-operand x86 scalar ops become three-operand ARM ops with
+        // the destination doubling as a source; genuinely two-operand
+        // targets (`clz`) fall through to the second candidate.
+        [Shape::R(w), Shape::R(_)] => {
+            vec![format!("{target}_r{w}_r{w}_r{w}"), format!("{target}_r{w}_r{w}")]
+        }
+        [Shape::R(w), Shape::I] => {
+            vec![format!("{target}_r{w}_r{w}_i32"), format!("{target}_r{w}_i32")]
+        }
+        // Vector shapes: the target already carries its element suffix.
+        [Shape::V(_), Shape::V(_)] => {
+            vec![format!("{target}_v128_v128"), format!("{target}_v128_v128_v128")]
+        }
+        [Shape::V(_), Shape::V(_), Shape::V(_)] | [Shape::V(_), Shape::V(_), Shape::I] => {
+            vec![format!("{target}_v128_v128_v128"), format!("{target}_v128_v128")]
+        }
+        _ => vec![direct_key(target, shapes)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::parse::parse_line;
+    use pmevo_isa::synth::{synthetic_arm, synthetic_x86};
+
+    fn resolve_on<'a>(r: &Resolver<'a>, line: &str) -> Result<&'a str, Unmapped> {
+        let inst = normalize(&parse_line(line).unwrap().unwrap());
+        r.resolve(&inst).map(|_| "ok")
+    }
+
+    fn resolved_name(isa: &InstructionSet, r: &Resolver<'_>, line: &str) -> String {
+        let inst = normalize(&parse_line(line).unwrap().unwrap());
+        let id = r.resolve(&inst).unwrap_or_else(|e| panic!("{line}: {e}"));
+        isa.form(id).name.clone()
+    }
+
+    #[test]
+    fn skl_resolves_the_scalar_and_vector_core() {
+        let isa = synthetic_x86();
+        let r = Resolver::new(skl(), &isa);
+        for (line, form) in [
+            ("addq %rax, %rbx", "add_r64_r64"),
+            ("add ebx, 5", "add_r32_i32"),
+            ("addq 8(%rdi), %rax", "add_r64_m64"),
+            ("movq (%rdi), %rax", "mov_r64_m64"),
+            ("mov qword ptr [rdi], rax", "mov_m64_r64"),
+            ("leaq 4(%rsp), %rcx", "lea_r64_r64"),
+            ("lea ecx, [rax+rbx*2]", "lea3_r32_r64_r64"),
+            ("imul rax, rbx", "imul_r64_r64"),
+            ("imul rax, rbx, 3", "imul3_r64_r64_i32"),
+            ("mulq %rcx", "mulhi_r64_r64"),
+            ("divq %rcx", "div_r64_r64"),
+            ("shlq $3, %rax", "shl_r64_i32"),
+            ("popcnt rax, rbx", "popcnt_r64_r64"),
+            ("cmove eax, ebx", "cmove_r32_r32"),
+            ("movzbl (%rdi), %eax", "movzx_r32_m32"),
+            ("paddd %xmm1, %xmm0", "paddd_v128_v128_v128"),
+            ("vpaddd ymm0, ymm1, ymm2", "paddd_v256_v256_v256"),
+            ("pshufd xmm0, xmm1, 27", "pshufd_v128_v128_v128"),
+            ("vdivps ymm0, ymm1, ymm2", "divps_v256_v256"),
+            ("sqrtps xmm0, xmm1", "sqrtps_v128_v128"),
+            ("vfmadd213ps %ymm2, %ymm1, %ymm0", "fmadd213ps_v256_v256_v256"),
+            ("movups xmm0, [rax]", "movups_v128_m128"),
+            ("movups [rax], xmm0", "movups_m128_v128"),
+            ("cvtsi2sd xmm0, rax", "cvtsi2sd_v128_r64"),
+        ] {
+            assert_eq!(resolved_name(&isa, &r, line), form, "{line}");
+        }
+    }
+
+    #[test]
+    fn a72_cross_translates_x86_text() {
+        let isa = synthetic_arm();
+        let r = Resolver::new(a72(), &isa);
+        for (line, form) in [
+            ("addq %rax, %rbx", "add_r64_r64_r64"),
+            ("add ebx, 5", "add_r32_r32_i32"),
+            ("xorq %rax, %rbx", "eor_r64_r64_r64"),
+            ("cmp rax, rbx", "subs_r64_r64_r64"),
+            ("mov rax, rbx", "orr_r64_r64_r64"),
+            ("mov rax, 7", "mov_r64_i32"),
+            ("movq (%rdi), %rax", "ldr_r64_m64"),
+            ("mov qword ptr [rdi], rax", "str_m64_r64"),
+            ("leaq (%rax,%rbx,4), %rcx", "add_r64_r64_r64"),
+            ("shl rax, 3", "lsl_r64_r64_i32"),
+            ("lzcnt eax, ebx", "clz_r32_r32"),
+            ("cmovne rax, rbx", "csel_r64_r64_r64"),
+            ("divq %rcx", "udiv_r64_r64_r64"),
+            ("paddd %xmm1, %xmm0", "add_4s_v128_v128_v128"),
+            ("mulps xmm0, xmm1", "fmul_4s_v128_v128_v128"),
+            ("divps xmm0, xmm1", "fdiv_4s_v128_v128"),
+            ("movups xmm0, [rax]", "ldr_q_v128_m128"),
+            ("movups [rax], xmm0", "str_q_m128_v128"),
+            ("cvtdq2ps xmm0, xmm1", "scvtf_4s_v128_v128"),
+            ("cvtsi2ss xmm0, eax", "scvtf_v128_r32"),
+            ("vfmadd213pd %xmm2, %xmm1, %xmm0", "fmla_2d_v128_v128_v128"),
+        ] {
+            assert_eq!(resolved_name(&isa, &r, line), form, "{line}");
+        }
+    }
+
+    #[test]
+    fn unmapped_reasons_are_attributed() {
+        let x86 = synthetic_x86();
+        let arm = synthetic_arm();
+        let skl_r = Resolver::new(skl(), &x86);
+        let a72_r = Resolver::new(a72(), &arm);
+
+        // Typo: unknown mnemonic with a nearest-known suggestion.
+        match resolve_on(&skl_r, "addd %rax, %rbx").unwrap_err() {
+            Unmapped::UnknownMnemonic { mnemonic, suggestion } => {
+                assert_eq!(mnemonic, "addd");
+                assert_eq!(suggestion.as_deref(), Some("add"));
+            }
+            other => panic!("expected UnknownMnemonic, got {other:?}"),
+        }
+
+        // Known mnemonic, no matching form shape (8-bit registers are
+        // outside the form universe).
+        match resolve_on(&skl_r, "add al, bl").unwrap_err() {
+            Unmapped::UnsupportedOperands { mnemonic, key } => {
+                assert_eq!(mnemonic, "add");
+                assert_eq!(key, "add_r8_r8");
+            }
+            other => panic!("expected UnsupportedOperands, got {other:?}"),
+        }
+
+        // 256-bit vectors on a 128-bit uarch.
+        match resolve_on(&a72_r, "vpaddd ymm0, ymm1, ymm2").unwrap_err() {
+            Unmapped::MissingExtension { extension, .. } => {
+                assert_eq!(extension, Extension::Avx);
+            }
+            other => panic!("expected MissingExtension, got {other:?}"),
+        }
+
+        // Families the A72 table never grew.
+        for line in ["popcnt rax, rbx", "adcq %rax, %rbx", "btq $3, %rax", "pblendw xmm0, xmm1, 7"]
+        {
+            let err = resolve_on(&a72_r, line).unwrap_err();
+            assert_eq!(err.reason(), "missing_extension", "{line}: {err}");
+        }
+
+        // 512-bit vectors are beyond every table.
+        let err = resolve_on(&skl_r, "vpaddd zmm0, zmm1, zmm2").unwrap_err();
+        assert_eq!(err.reason(), "missing_extension");
+    }
+
+    #[test]
+    fn registry_and_tables_are_consistent() {
+        // Every SKL/ZEN entry is in the registry under its own name.
+        for t in [skl(), zen()] {
+            for (&m, &target) in &t.entries {
+                assert_eq!(m, target, "{}: x86 tables are identity maps", t.name());
+                assert!(registry().contains_key(m), "{m} not in registry");
+            }
+        }
+        // Every A72 entry translates a registry mnemonic.
+        for &m in a72().entries.keys() {
+            assert!(registry().contains_key(m), "{m} not in registry");
+        }
+        assert!(skl().entries.len() > a72().entries.len());
+        assert_eq!(by_name("SKL").unwrap().platform(), "SKL");
+        assert_eq!(by_name("a72").unwrap().max_vec_bits(), 128);
+        assert!(by_name("m1").is_none());
+    }
+}

@@ -64,6 +64,11 @@ printf '!stats\n' | "$CLI" client --unix "$SOCK" >"$OUTDIR/stats.json"
 grep -q '"total_connections":3' "$OUTDIR/stats.json"
 grep -q '"mapping":"TINY@1"' "$OUTDIR/stats.json"
 
+# !mappings lists every loaded version with its query count; if the verb
+# loses its match arm in the daemon, this grep fails loudly.
+printf '!mappings\n' | "$CLI" client --unix "$SOCK" >"$OUTDIR/mappings.json"
+grep -q '"mappings":\[{"mapping":"TINY@1","queries":' "$OUTDIR/mappings.json"
+
 # Hot reload: subsequent lines on the same connection route to TINY@2.
 printf '!reload TINY=%s\nadd_r64_r64_r64\n' "$OUTDIR/tiny_v2.json" |
   "$CLI" client --unix "$SOCK" >"$OUTDIR/reload.out"
@@ -75,6 +80,12 @@ tail -1 "$OUTDIR/reload.out" >"$OUTDIR/reload_prediction.out"
 echo "add_r64_r64_r64" | "$CLI" predict --mapping "TINY=$OUTDIR/tiny_v2.json" 2>/dev/null \
   | sed -e 's/"line":1/"line":2/' -e 's/"TINY@1"/"TINY@2"/' >"$OUTDIR/reload_offline.out"
 cmp "$OUTDIR/reload_prediction.out" "$OUTDIR/reload_offline.out"
+
+# After the reload both versions are listed, with traffic attributed to
+# the version that served it.
+printf '!mappings\n' | "$CLI" client --unix "$SOCK" >"$OUTDIR/mappings_reloaded.json"
+grep -q '"mapping":"TINY@1"' "$OUTDIR/mappings_reloaded.json"
+grep -q '"mapping":"TINY@2"' "$OUTDIR/mappings_reloaded.json"
 
 # Clean shutdown: the daemon acks, exits 0 and removes its socket.
 printf '!shutdown\n' | "$CLI" client --unix "$SOCK" | grep -q '"ok":"shutting down"'

@@ -17,6 +17,12 @@
 //! * `predict --platform SKL --mapping mapping.json --experiment
 //!   "add_r64_r64:2,imul_r64_r64:1"` — one-off mode: predict (and
 //!   measure) one experiment's throughput;
+//! * `predict --corpus blocks.txt --isa x86 --uarch skl
+//!   --mapping SKL=skl.json` — corpus replay: parse a BHive-style file
+//!   of disassembled basic blocks (AT&T or Intel syntax), resolve each
+//!   instruction onto the target microarchitecture's form universe via
+//!   [`pmevo::x86`], predict every fully-mapped block's throughput, and
+//!   finish with one deterministic coverage/accounting JSON line;
 //! * `client --connect HOST:PORT | --unix PATH` — pipe stdin to a
 //!   running `pmevo-serve` daemon and its responses to stdout (the
 //!   socket-framed equivalent of `predict`'s stdin/stdout pipe).
@@ -25,7 +31,10 @@
 //! failures; never a panic on the serving paths.
 
 use pmevo::baselines::{CountingAlgorithm, LpAlgorithm, RandomAlgorithm};
-use pmevo::core::{render, Experiment, InstId, SequenceParseError, ServeRecord, ThreeLevelMapping};
+use pmevo::core::json::{self, Value};
+use pmevo::core::{
+    render, suggest, Experiment, InstId, SequenceParseError, ServeRecord, ThreeLevelMapping,
+};
 use pmevo::machine::{platforms, MeasureConfig, Measurer, Platform};
 use pmevo::predict::{MappingId, MappingStore, Predictor, PredictorConfig};
 use pmevo::serve::flags::{flag, flag_all, num_flag, positive_flag};
@@ -49,6 +58,10 @@ fn usage() -> ExitCode {
                             to JSON throughputs on stdout)\n\
          pmevo-cli predict --platform SKL --mapping mapping.json \\\n\
                            --experiment \"add_r64_r64:2,imul_r64_r64:1\"\n\
+         pmevo-cli predict --corpus blocks.txt --uarch skl [--isa x86]\n\
+                           --mapping SKL=skl.json [--jobs N] [--cache N]\n\
+                           (replays a basic-block corpus: one JSON line per\n\
+                            block, then one accounting line, on stdout)\n\
          pmevo-cli client  --connect HOST:PORT | --unix PATH\n\
                            (pipes stdin to a pmevo-serve daemon, responses to stdout)"
     );
@@ -144,10 +157,13 @@ fn parse_experiment(platform: &Platform, spec: &str) -> Result<Experiment, Strin
             ),
             None => (part, 1),
         };
-        let id = platform
-            .isa()
-            .find(name)
-            .ok_or_else(|| format!("unknown instruction form {name:?}"))?;
+        let id = platform.isa().find(name).ok_or_else(|| {
+            let names = platform.isa().forms().iter().map(|f| f.name.as_str());
+            match suggest::nearest(name, names) {
+                Some(s) => format!("unknown instruction form {name:?} (did you mean {s:?}?)"),
+                None => format!("unknown instruction form {name:?}"),
+            }
+        })?;
         counts.push((id, count));
     }
     if counts.is_empty() {
@@ -424,7 +440,111 @@ fn cmd_predict_stream(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Corpus replay: parse a BHive-style file of disassembled basic
+/// blocks, resolve every instruction onto the `--uarch` table's form
+/// universe, predict each fully-mapped block's throughput, and emit one
+/// JSON record per block plus a final accounting line. Everything on
+/// stdout is a pure function of (corpus, uarch, mapping) — worker count
+/// never changes a byte.
+fn cmd_predict_corpus(args: &[String], corpus_path: &str) -> ExitCode {
+    if let Some(isa) = flag(args, "--isa") {
+        if !isa.eq_ignore_ascii_case("x86") {
+            eprintln!("unsupported --isa {isa}; corpus replay reads x86-64 disassembly");
+            return ExitCode::from(2);
+        }
+    }
+    let Some(uarch) = flag(args, "--uarch") else {
+        eprintln!("missing --uarch (skl, zen or a72) for corpus replay");
+        return ExitCode::from(2);
+    };
+    let Some(table) = pmevo::x86::by_name(&uarch) else {
+        eprintln!("unknown uarch {uarch}; expected skl, zen or a72");
+        return ExitCode::from(2);
+    };
+    let jobs = match positive_parsed_flag(args, "--jobs", 1) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let cache = match parsed_flag(args, "--cache", 1usize << 16) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let store = match build_store(args) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    let Some(id) = store.latest(table.platform()) else {
+        eprintln!(
+            "corpus replay on {} needs --mapping {}=file.json",
+            table.name(),
+            table.platform()
+        );
+        return ExitCode::from(2);
+    };
+    let label = store.get(id).label();
+    // The platform with the same name as the table provides the form
+    // universe the table's keys resolve into.
+    let Some(platform) = platforms::by_name(table.platform()) else {
+        eprintln!("no built-in platform named {}", table.platform());
+        return ExitCode::FAILURE;
+    };
+    let corpus = match std::fs::read_to_string(corpus_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {corpus_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let predictor = Predictor::new(store, PredictorConfig { workers: jobs, cache_capacity: cache });
+    let uarch_name = table.name();
+    let resolver = pmevo::x86::Resolver::new(table, platform.isa());
+    let r = pmevo::x86::replay(&corpus, &resolver, &predictor, id);
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for (block, outcome) in r.outcomes.iter().enumerate() {
+        let record = match &outcome.result {
+            pmevo::x86::BlockResult::Cycles(cycles) => Value::Obj(vec![
+                ("block".into(), Value::UInt(block as u64)),
+                ("line".into(), Value::UInt(u64::from(outcome.start_line))),
+                ("insts".into(), Value::UInt(u64::from(outcome.insts))),
+                ("mapping".into(), Value::Str(label.clone())),
+                ("cycles".into(), Value::Num(*cycles)),
+            ]),
+            pmevo::x86::BlockResult::Unmapped { line, column, reason, detail } => Value::Obj(vec![
+                ("block".into(), Value::UInt(block as u64)),
+                ("line".into(), Value::UInt(u64::from(*line))),
+                ("column".into(), Value::UInt(u64::from(*column))),
+                ("reason".into(), Value::Str((*reason).to_string())),
+                ("error".into(), Value::Str(detail.clone())),
+            ]),
+        };
+        writeln!(out, "{}", json::write_compact(&record)).expect("write stdout");
+    }
+    let acc = &r.accounting;
+    writeln!(out, "{}", pmevo::x86::accounting_json(acc)).expect("write stdout");
+    out.flush().expect("flush stdout");
+    eprintln!(
+        "replayed {} blocks ({} insts) on {} against {label}: \
+         {} predicted, block coverage {:.1}%, inst coverage {:.1}%",
+        acc.blocks,
+        acc.insts,
+        uarch_name,
+        acc.mapped_blocks,
+        100.0 * acc.block_coverage(),
+        100.0 * acc.inst_coverage()
+    );
+    for (reason, n) in &acc.by_reason {
+        eprintln!("  unmapped blocks: {n} {reason}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_predict(args: &[String]) -> ExitCode {
+    if let Some(path) = flag(args, "--corpus") {
+        // --corpus switches predict into BHive-style replay mode.
+        return cmd_predict_corpus(args, &path);
+    }
     let Some(spec) = flag(args, "--experiment") else {
         // No --experiment: the streaming serving mode.
         return cmd_predict_stream(args);

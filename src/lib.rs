@@ -16,6 +16,7 @@
 //! | [`baselines`] | `pmevo-baselines` | uops.info-, IACA-, llvm-mca-, Ithemal-like predictors |
 //! | [`predict`] | `pmevo-predict` | throughput-prediction serving layer: mapping store, batched cached prediction |
 //! | [`serve`] | `pmevo-serve` | long-lived prediction daemon: TCP/Unix socket protocol, cross-connection batch coalescing, hot mapping reload |
+//! | [`x86`] | `pmevo-x86` | real-ISA ingestion: AT&T/Intel x86-64 parsing, per-uarch form resolution, BHive-style corpus replay |
 //! | [`stats`] | `pmevo-stats` | MAPE/Pearson/Spearman, heat maps, tables |
 //!
 //! # Quickstart
@@ -62,6 +63,7 @@ pub use pmevo_machine as machine;
 pub use pmevo_predict as predict;
 pub use pmevo_serve as serve;
 pub use pmevo_stats as stats;
+pub use pmevo_x86 as x86;
 
 pub use session::{
     AccuracyReport, BoxedAlgorithm, BoxedBackend, ReportJsonError, Service, Session,

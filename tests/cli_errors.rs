@@ -1,8 +1,12 @@
 //! The serving path of `pmevo-cli` must never panic on malformed
 //! input: bad numeric flags, zero worker/batch counts and a missing
 //! `--mapping` all get a printable error plus the usage text on stderr
-//! and a nonzero exit — no backtraces, no aborts.
+//! and a nonzero exit — no backtraces, no aborts. Corpus-replay mode
+//! additionally pinpoints bad corpus lines by line *and* column and
+//! suggests the nearest known mnemonic for typos.
 
+use pmevo::machine::platforms;
+use std::path::PathBuf;
 use std::process::{Command, Output, Stdio};
 
 fn cli() -> Command {
@@ -78,4 +82,114 @@ fn unreadable_and_malformed_mapping_specs_error_cleanly() {
 fn client_without_an_endpoint_is_a_usage_error() {
     let out = run(&["client"]);
     assert_graceful(&out, "exactly one of --connect HOST:PORT or --unix PATH");
+}
+
+/// A corpus-mode failure: nonzero exit, no panic, a stderr line naming
+/// the offense (these are flag-level errors, reported without the full
+/// usage dump).
+fn assert_corpus_error(out: &Output, needle: &str) {
+    let stderr = stderr_of(out);
+    assert!(!stderr.contains("panicked"), "corpus mode must not panic:\n{stderr}");
+    assert!(stderr.contains(needle), "stderr must contain {needle:?}:\n{stderr}");
+    assert!(!out.status.success());
+}
+
+/// Writes `file` into a temp dir for corpus-mode tests and returns its
+/// path.
+fn scratch(file: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pmevo_cli_errors");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(file);
+    std::fs::write(&path, contents).expect("write scratch file");
+    path
+}
+
+#[test]
+fn corpus_mode_flag_errors_are_reported_cleanly() {
+    let corpus = scratch("corpus_flags.txt", "addq %rax, %rbx\n");
+    let corpus = corpus.to_str().unwrap();
+
+    let out = run(&["predict", "--corpus", corpus]);
+    assert_corpus_error(&out, "missing --uarch (skl, zen or a72)");
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = run(&["predict", "--corpus", corpus, "--uarch", "m1"]);
+    assert_corpus_error(&out, "unknown uarch m1; expected skl, zen or a72");
+
+    let out = run(&["predict", "--corpus", corpus, "--uarch", "skl", "--isa", "riscv"]);
+    assert_corpus_error(&out, "unsupported --isa riscv");
+
+    // A mapping for the wrong platform: the error names the one needed.
+    let tiny = scratch("tiny.json", &platforms::tiny().ground_truth().to_json_pretty());
+    let out = run(&[
+        "predict", "--corpus", corpus, "--uarch", "skl",
+        "--mapping", &format!("TINY={}", tiny.display()),
+    ]);
+    assert_corpus_error(&out, "corpus replay on skl needs --mapping SKL=file.json");
+
+    let skl = scratch("skl.json", &platforms::skl().ground_truth().to_json_pretty());
+    let out = run(&[
+        "predict", "--corpus", "/definitely/not/here.txt", "--uarch", "skl",
+        "--mapping", &format!("SKL={}", skl.display()),
+    ]);
+    assert_corpus_error(&out, "cannot read /definitely/not/here.txt");
+}
+
+/// Unmappable corpus lines come back as records carrying the 1-based
+/// line *and column* of the offending token, and typo'd mnemonics get a
+/// nearest-known suggestion.
+#[test]
+fn corpus_records_carry_line_column_and_suggestions() {
+    let corpus = scratch(
+        "corpus_bad.txt",
+        "addq %rax, %rbx\n\naddd %rax, %rbx\n\nmov rax, @x\n",
+    );
+    let skl = scratch("skl.json", &platforms::skl().ground_truth().to_json_pretty());
+    let out = run(&[
+        "predict",
+        "--corpus", corpus.to_str().unwrap(),
+        "--uarch", "skl",
+        "--mapping", &format!("SKL={}", skl.display()),
+    ]);
+    let stderr = stderr_of(&out);
+    assert!(out.status.success(), "replay with bad lines still exits 0:\n{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    // Block 0 maps; block 1 is a typo with a suggestion; block 2 is
+    // lexically malformed with a column inside the operand.
+    assert!(stdout.contains("\"block\":0,\"line\":1,\"insts\":1,\"mapping\":\"SKL@1\",\"cycles\":"), "{stdout}");
+    assert!(
+        stdout.contains("\"block\":1,\"line\":3,\"column\":1,\"reason\":\"unknown_mnemonic\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("did you mean \\\"add\\\"?"), "{stdout}");
+    assert!(
+        stdout.contains("\"block\":2,\"line\":5,\"column\":10,\"reason\":\"malformed_line\""),
+        "{stdout}"
+    );
+    // The final line is the accounting summary, with every block counted.
+    let last = stdout.lines().last().expect("accounting line");
+    assert!(last.starts_with("{\"blocks\":3,\"mapped_blocks\":1,"), "{last}");
+    assert!(last.contains("\"by_reason\":{\"malformed_line\":1,\"unknown_mnemonic\":1}"), "{last}");
+}
+
+/// The one-off `--experiment` path suggests the nearest known form for
+/// a typo'd instruction name.
+#[test]
+fn experiment_mode_suggests_nearest_form() {
+    let tiny = scratch("tiny.json", &platforms::tiny().ground_truth().to_json_pretty());
+    let out = run(&[
+        "predict",
+        "--platform", "TINY",
+        "--mapping", tiny.to_str().unwrap(),
+        "--experiment", "add_r64_r64_r6:1",
+    ]);
+    assert!(!out.status.success());
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains(
+            "unknown instruction form \"add_r64_r64_r6\" (did you mean \"add_r64_r64_r64\"?)"
+        ),
+        "{stderr}"
+    );
 }

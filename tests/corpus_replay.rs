@@ -1,0 +1,213 @@
+//! Corpus replay is a *golden* pipeline: the checked-in fixture is
+//! byte-reproducible from its generator, SKL coverage meets the ≥95%
+//! bar with every miss accounted for by reason, and the accounting JSON
+//! is byte-identical across predictor worker counts — pinned here
+//! against a literal golden string so any drift in parsing,
+//! normalization, resolution or prediction order is caught as a diff.
+
+use pmevo::machine::platforms;
+use pmevo::predict::{MappingId, MappingStore, Predictor, PredictorConfig};
+use pmevo::x86::{
+    accounting_json, by_name, normalize, parse_line, replay, synthetic_corpus, BlockResult,
+    Resolver,
+};
+use proptest::prelude::*;
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/x86_corpus.txt");
+const FIXTURE_BLOCKS: usize = 1200;
+const FIXTURE_SEED: u64 = 0xB10C5;
+
+fn fixture() -> String {
+    std::fs::read_to_string(FIXTURE).expect("checked-in corpus fixture")
+}
+
+/// Ground-truth SKL predictor, `workers` wide.
+fn skl_predictor(workers: usize) -> (Predictor, MappingId) {
+    let p = platforms::skl();
+    let mut store = MappingStore::new();
+    let names = p.isa().forms().iter().map(|f| f.name.clone()).collect();
+    let id = store.insert(p.name(), names, p.ground_truth().clone());
+    (Predictor::new(store, PredictorConfig { workers, cache_capacity: 4096 }), id)
+}
+
+/// Regenerates the checked-in fixture. Run explicitly after changing the
+/// corpus generator:
+/// `cargo test --test corpus_replay -- --ignored regenerate_fixture`
+#[test]
+#[ignore = "overwrites the checked-in fixture"]
+fn regenerate_fixture() {
+    std::fs::write(FIXTURE, synthetic_corpus(FIXTURE_BLOCKS, FIXTURE_SEED))
+        .expect("write corpus fixture");
+}
+
+/// The fixture is exactly what its generator produces — nobody can edit
+/// one without the other, and the corpus stays reviewable as a seed
+/// instead of as 1200 blocks of diff.
+#[test]
+fn fixture_matches_its_generator() {
+    assert_eq!(
+        fixture(),
+        synthetic_corpus(FIXTURE_BLOCKS, FIXTURE_SEED),
+        "tests/fixtures/x86_corpus.txt diverged from synthetic_corpus({FIXTURE_BLOCKS}, {FIXTURE_SEED:#x}); \
+         regenerate it with `cargo test --test corpus_replay -- --ignored regenerate_fixture`"
+    );
+}
+
+/// The ISSUE acceptance bar: ≥95% of the corpus maps on SKL, and every
+/// block that does not map is accounted for under exactly one reason.
+#[test]
+fn skl_coverage_meets_the_bar_with_complete_accounting() {
+    let corpus = fixture();
+    let isa = pmevo::isa::synth::synthetic_x86();
+    let resolver = Resolver::new(by_name("skl").unwrap(), &isa);
+    let (predictor, id) = skl_predictor(1);
+    let r = replay(&corpus, &resolver, &predictor, id);
+    let acc = &r.accounting;
+
+    assert_eq!(acc.blocks, FIXTURE_BLOCKS as u64);
+    assert!(
+        acc.inst_coverage() >= 0.95,
+        "SKL instruction coverage {:.3} below the 95% bar",
+        acc.inst_coverage()
+    );
+
+    // Accounting is complete: mapped + per-reason failures == all blocks.
+    let unmapped: u64 = acc.by_reason.values().sum();
+    assert_eq!(acc.mapped_blocks + unmapped, acc.blocks);
+
+    // And it agrees with the per-block outcomes, reason by reason.
+    let known = ["malformed_line", "unknown_mnemonic", "unsupported_operands", "missing_extension"];
+    let mut mapped = 0u64;
+    let mut by_reason = std::collections::BTreeMap::new();
+    for outcome in &r.outcomes {
+        match &outcome.result {
+            BlockResult::Cycles(t) => {
+                assert!(t.is_finite() && *t > 0.0, "mapped blocks get real cycle counts");
+                mapped += 1;
+            }
+            BlockResult::Unmapped { line, column, reason, .. } => {
+                assert!(known.contains(reason), "unexpected reason {reason:?}");
+                assert!(*line > 0 && *column > 0, "failures carry 1-based positions");
+                *by_reason.entry(*reason).or_insert(0u64) += 1;
+            }
+        }
+    }
+    assert_eq!(mapped, acc.mapped_blocks);
+    assert_eq!(by_reason, acc.by_reason);
+}
+
+/// The golden accounting line: byte-identical across 1/2/8 predictor
+/// workers *and* pinned to a literal, so determinism regressions and
+/// silent pipeline drift both fail this test.
+#[test]
+fn accounting_json_is_golden_across_worker_counts() {
+    const GOLDEN: &str = "{\"blocks\":1200,\"mapped_blocks\":1138,\"insts\":4209,\
+                          \"mapped_insts\":4146,\"inst_coverage\":0.985032074126871,\
+                          \"block_coverage\":0.9483333333333334,\
+                          \"by_reason\":{\"malformed_line\":13,\"unknown_mnemonic\":37,\
+                          \"unsupported_operands\":12},\"checksum\":16607107859544355903}";
+    let corpus = fixture();
+    let isa = pmevo::isa::synth::synthetic_x86();
+    let resolver = Resolver::new(by_name("skl").unwrap(), &isa);
+    for workers in [1, 2, 8] {
+        let (predictor, id) = skl_predictor(workers);
+        let r = replay(&corpus, &resolver, &predictor, id);
+        assert_eq!(
+            accounting_json(&r.accounting),
+            GOLDEN,
+            "accounting drifted (workers={workers})"
+        );
+    }
+}
+
+/// Uniform pick from a static word list (the vendored proptest stub has
+/// no `sample::select`).
+fn pick(options: &'static [&'static str]) -> impl Strategy<Value = &'static str> {
+    (0..options.len()).prop_map(move |i| options[i])
+}
+
+fn reg64() -> impl Strategy<Value = &'static str> {
+    pick(&["rax", "rbx", "rcx", "rdx", "rsi", "rdi", "r8", "r9"])
+}
+
+fn reg32() -> impl Strategy<Value = &'static str> {
+    pick(&["eax", "ebx", "ecx", "edx", "esi", "edi", "r10d", "r11d"])
+}
+
+fn xmm() -> impl Strategy<Value = &'static str> {
+    pick(&["xmm0", "xmm1", "xmm2", "xmm3", "xmm4", "xmm5"])
+}
+
+fn ymm() -> impl Strategy<Value = &'static str> {
+    pick(&["ymm0", "ymm1", "ymm2", "ymm3"])
+}
+
+/// The same instruction spelled in both dialects, over the form
+/// universe's main operand shapes: ALU reg/imm/mem, lea, movzx, shifts,
+/// SSE two-operand, AVX three-operand.
+fn att_intel_pairs() -> impl Strategy<Value = (String, String)> {
+    prop_oneof![
+        (pick(&["add", "sub", "and", "or", "xor", "cmp"]), reg64(), reg64())
+            .prop_map(|(m, d, s)| (format!("{m}q %{s}, %{d}"), format!("{m} {d}, {s}"))),
+        (pick(&["add", "sub", "cmp", "mov"]), reg64(), 0u32..64)
+            .prop_map(|(m, d, i)| (format!("{m}q ${i}, %{d}"), format!("{m} {d}, {i}"))),
+        (pick(&["add", "sub", "xor"]), reg64(), reg64(), 0usize..8).prop_map(
+            |(m, d, b, k)| (
+                format!("{m}q {}(%{b}), %{d}", 8 * k),
+                format!("{m} {d}, qword ptr [{b}+{}]", 8 * k),
+            )
+        ),
+        (reg64(), reg64(), 0usize..8).prop_map(|(d, b, k)| (
+            format!("leaq {}(%{b}), %{d}", 8 * k),
+            format!("lea {d}, [{b}+{}]", 8 * k),
+        )),
+        (reg32(), reg64()).prop_map(|(d, b)| (
+            format!("movzbl (%{b}), %{d}"),
+            format!("movzx {d}, byte ptr [{b}]"),
+        )),
+        (pick(&["shl", "shr", "sar"]), reg64(), 0u32..64)
+            .prop_map(|(m, d, i)| (format!("{m}q ${i}, %{d}"), format!("{m} {d}, {i}"))),
+        (
+            pick(&["paddd", "psubq", "pand", "pxor", "addps", "mulpd"]),
+            xmm(),
+            xmm()
+        )
+            .prop_map(|(m, d, s)| (format!("{m} %{s}, %{d}"), format!("{m} {d}, {s}"))),
+        (pick(&["paddd", "pxor", "addps", "mulps"]), ymm(), ymm(), ymm())
+            .prop_map(|(m, d, a, b)| (
+                format!("v{m} %{b}, %{a}, %{d}"),
+                format!("v{m} {d}, {a}, {b}"),
+            )),
+    ]
+}
+
+proptest! {
+    /// Mnemonic normalization round-trips: the AT&T and Intel spellings
+    /// of one instruction normalize to the same canonical mnemonic and
+    /// operand shapes, and resolve to the same SKL instruction form.
+    #[test]
+    fn att_and_intel_spellings_resolve_to_the_same_form((att, intel) in att_intel_pairs()) {
+        let isa = pmevo::isa::synth::synthetic_x86();
+        let resolver = Resolver::new(by_name("skl").unwrap(), &isa);
+        let a = normalize(&parse_line(&att).expect("att parses").expect("att is code"));
+        let b = normalize(&parse_line(&intel).expect("intel parses").expect("intel is code"));
+        prop_assert_eq!(&a, &b, "normalization must be dialect-independent: {} vs {}", att, intel);
+        let fa = resolver.resolve(&a).expect("att spelling resolves on SKL");
+        let fb = resolver.resolve(&b).expect("intel spelling resolves on SKL");
+        prop_assert_eq!(fa, fb);
+    }
+}
+
+/// Sanity anchor for the proptest: one concrete pair through the whole
+/// pipe, with the resolved form name spelled out.
+#[test]
+fn concrete_pair_resolves_to_add_r64_r64() {
+    let isa = pmevo::isa::synth::synthetic_x86();
+    let resolver = Resolver::new(by_name("skl").unwrap(), &isa);
+    for line in ["addq %rax, %rbx", "add rbx, rax"] {
+        let id = resolver
+            .resolve(&normalize(&parse_line(line).unwrap().unwrap()))
+            .expect("resolves");
+        assert_eq!(isa.form(id).name, "add_r64_r64");
+    }
+}

@@ -179,6 +179,48 @@ fn stats_windows_split_hits_and_misses() {
     server.join();
 }
 
+/// `!mappings` lists every loaded `name@version` with its cumulative
+/// query count — and, being a coalescer barrier like `!stats`, counts
+/// every prediction of the preceding lines before answering.
+#[test]
+fn mappings_verb_lists_versions_and_query_counts() {
+    let (server, addr, artifact) = start_daemon();
+
+    let empty = via_daemon(addr, "!mappings\n");
+    assert_eq!(
+        empty.trim_end(),
+        "{\"line\":1,\"mappings\":[{\"mapping\":\"TINY@1\",\"queries\":0}]}",
+        "fresh daemon: one mapping, zero queries"
+    );
+
+    let lines: String = (1..=7).map(|n| format!("add_r64_r64_r64 x{n}\n")).collect();
+    let after = via_daemon(addr, &format!("{lines}!mappings\n"));
+    let record = after.lines().last().expect("mappings record");
+    assert_eq!(
+        record, "{\"line\":8,\"mappings\":[{\"mapping\":\"TINY@1\",\"queries\":7}]}",
+        "the verb is a barrier: all 7 queries are counted before it answers"
+    );
+
+    // After a hot reload both versions are listed; only the new one
+    // takes subsequent (unprefixed) traffic.
+    let v2 = tiny_artifact("tiny_mappings_v2.json");
+    let reload = via_daemon(
+        addr,
+        &format!("!reload TINY={}\nadd_r64_r64_r64 x2\n!mappings\n", v2.display()),
+    );
+    let record = reload.lines().last().expect("mappings record");
+    assert_eq!(
+        record,
+        "{\"line\":3,\"mappings\":[{\"mapping\":\"TINY@1\",\"queries\":7},\
+         {\"mapping\":\"TINY@2\",\"queries\":1}]}",
+        "both versions listed, traffic attributed per version"
+    );
+
+    server.stop();
+    server.join();
+    drop(artifact);
+}
+
 /// A hot reload on one connection must not disturb another client's
 /// in-flight stream: the bystander keeps getting records for every
 /// line, all referencing a valid mapping version, in input order.
