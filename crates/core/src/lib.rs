@@ -41,6 +41,7 @@
 
 pub mod allocation;
 pub mod backend;
+pub mod binfmt;
 mod bottleneck_impl;
 mod eval;
 mod experiment;
@@ -52,6 +53,8 @@ mod predict;
 pub mod render;
 pub mod selection;
 pub mod suggest;
+
+pub use binfmt::{BinDecodeError, MappingArtifact, BIN_MAGIC, BIN_VERSION};
 
 pub use backend::{
     measurements_from_json, measurements_to_json, measurements_to_json_pretty, BackendStats,

@@ -1,0 +1,96 @@
+//! Property tests for the binary artifact codec (ISSUE 9 tentpole):
+//! `to_bytes`/`from_bytes` round-trips are bit-exact and agree with the
+//! JSON codec on random mappings and name tables, and random truncation
+//! or corruption never panics the decoder.
+
+use pmevo_core::{MappingArtifact, PortSet, ThreeLevelMapping, UopEntry};
+use proptest::prelude::*;
+
+const MAX_PORTS_TESTED: usize = 6;
+
+fn artifact_strategy() -> impl Strategy<Value = MappingArtifact> {
+    (1usize..=MAX_PORTS_TESTED)
+        .prop_flat_map(|num_ports| {
+            let decomp = proptest::collection::vec(
+                proptest::collection::vec((0u32..5, 0u64..(1 << num_ports)), 0..5),
+                0..8,
+            );
+            (Just(num_ports), decomp)
+        })
+        .prop_map(|(num_ports, decomp)| {
+            let mapping = ThreeLevelMapping::new(
+                num_ports,
+                decomp
+                    .into_iter()
+                    .map(|entries| {
+                        entries
+                            .into_iter()
+                            .map(|(n, mask)| UopEntry::new(n, PortSet::from_mask(mask)))
+                            .collect()
+                    })
+                    .collect(),
+            );
+            // Name table with empty, unicode and collision-prone names.
+            let names = (0..mapping.num_insts())
+                .map(|i| match i % 4 {
+                    0 => String::new(),
+                    1 => format!("inst_{i}"),
+                    2 => format!("µop_{i}"),
+                    _ => "x".repeat(i),
+                })
+                .collect();
+            MappingArtifact::new(names, mapping)
+        })
+}
+
+proptest! {
+    /// artifact → bytes → artifact is the identity, and re-encoding the
+    /// decoded artifact reproduces the very same bytes.
+    #[test]
+    fn bytes_roundtrip_is_bit_exact(a in artifact_strategy()) {
+        let bytes = a.to_bytes();
+        let back = MappingArtifact::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &a);
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    /// The binary codec and the JSON codec agree: decoding either
+    /// serialization of the same mapping yields structurally equal
+    /// mappings (both re-normalize identically).
+    #[test]
+    fn binary_equals_json_roundtrip(a in artifact_strategy()) {
+        let via_json = ThreeLevelMapping::from_json(&a.mapping().to_json()).unwrap();
+        let via_bin = MappingArtifact::from_bytes(&a.to_bytes()).unwrap();
+        prop_assert_eq!(via_bin.mapping(), &via_json);
+        prop_assert_eq!(via_bin.mapping(), &via_json.clone());
+        prop_assert_eq!(a.mapping(), &via_json);
+    }
+
+    /// Truncating an artifact anywhere yields an error (with an in-range
+    /// offset), never a panic or a silent partial decode.
+    #[test]
+    fn truncation_never_decodes(a in artifact_strategy(), frac in 0.0f64..1.0) {
+        let bytes = a.to_bytes();
+        let len = ((bytes.len() as f64) * frac) as usize;
+        if len < bytes.len() {
+            let err = MappingArtifact::from_bytes(&bytes[..len]).unwrap_err();
+            prop_assert!(err.offset <= bytes.len());
+        }
+    }
+
+    /// Flipping any single bit is caught (by the checksum or a
+    /// structural check) — corrupt artifacts never decode cleanly.
+    #[test]
+    fn corruption_never_decodes(a in artifact_strategy(), pos in 0usize..4096, bit in 0u8..8) {
+        let mut bytes = a.to_bytes();
+        let i = pos % bytes.len();
+        bytes[i] ^= 1 << bit;
+        prop_assert!(MappingArtifact::from_bytes(&bytes).is_err());
+    }
+
+    /// Arbitrary byte soup never panics the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let _ = MappingArtifact::from_bytes(&bytes);
+    }
+}

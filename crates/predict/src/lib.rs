@@ -6,9 +6,11 @@
 //! This crate turns the workspace's inference output into a serving
 //! subsystem:
 //!
-//! * [`MappingStore`] — a versioned, shard-by-instruction store of
-//!   inferred mapping artifacts (`name@version` addressing, immutable
-//!   `Arc`-shared entries, deterministic sharded mnemonic resolution);
+//! * [`MappingStore`] — a versioned, shard-by-instruction,
+//!   **memory-budgeted** store of inferred mapping artifacts
+//!   (`name@version` addressing, immutable `Arc`-shared entries,
+//!   deterministic sharded mnemonic resolution, interned name tables,
+//!   LRU payload eviction + lazy artifact reload under a byte budget);
 //!   stores clone in O(entries) Arc bumps, which is what makes the
 //!   [`Predictor`]'s hot reload an atomic snapshot swap
 //!   ([`Predictor::insert_mapping`]);
@@ -52,4 +54,7 @@ mod store;
 
 pub use lru::LruCache;
 pub use predictor::{PredictStats, Predictor, PredictorConfig};
-pub use store::{MappingId, MappingStore, StoredMapping, NUM_SHARDS};
+pub use store::{
+    load_artifact_file, validate_mapping_name, ArtifactFormat, LoadedArtifact, MappingId,
+    MappingStore, ResidencyStats, StoreError, StoredMapping, NUM_SHARDS,
+};

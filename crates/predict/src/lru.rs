@@ -54,9 +54,11 @@ pub struct LruCache<K, V> {
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Creates a cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
+        // Preallocation is a hint; huge capacities (the store's residency
+        // tracker is effectively unbounded) must not reserve up front.
         LruCache {
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
-            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            map: HashMap::with_capacity(capacity.min(1 << 10)),
+            slab: Vec::with_capacity(capacity.min(1 << 10)),
             head: NIL,
             tail: NIL,
             capacity,
@@ -110,6 +112,55 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         };
         self.map.insert(key, slot);
         self.push_front(slot);
+    }
+
+    /// Removes `key`, returning its value if present. Recency of the
+    /// remaining entries is unchanged.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let slot = self.map.remove(key)?;
+        self.unlink(slot);
+        Some(self.remove_slot(slot))
+    }
+
+    /// Removes and returns the least-recently-used entry — the eviction
+    /// primitive behind the store's byte-budgeted residency accounting,
+    /// where "full" is a byte count the caller owns rather than an entry
+    /// count this cache could enforce.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = self.tail;
+        let key = self.slab[slot].key.clone();
+        self.map.remove(&key);
+        self.unlink(slot);
+        Some((key, self.remove_slot(slot)))
+    }
+
+    /// Frees an already-unlinked `slot` by swap-removing it from the
+    /// slab, re-threading the node that moved into its place.
+    fn remove_slot(&mut self, slot: usize) -> V {
+        let last = self.slab.len() - 1;
+        self.slab.swap(slot, last);
+        let node = self.slab.pop().expect("slot exists");
+        if slot != last {
+            // The node formerly at `last` now lives at `slot`: its list
+            // neighbors (and the map) still point at `last`.
+            let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+            if prev != NIL {
+                self.slab[prev].next = slot;
+            } else if self.head == last {
+                self.head = slot;
+            }
+            if next != NIL {
+                self.slab[next].prev = slot;
+            } else if self.tail == last {
+                self.tail = slot;
+            }
+            let moved_key = self.slab[slot].key.clone();
+            *self.map.get_mut(&moved_key).expect("moved node is mapped") = slot;
+        }
+        node.value
     }
 
     fn promote(&mut self, slot: usize) {
@@ -197,6 +248,42 @@ mod tests {
             if k > 0 {
                 assert_eq!(c.get(&(k - 1)), None);
             }
+        }
+    }
+
+    #[test]
+    fn remove_and_pop_lru_keep_the_list_consistent() {
+        let mut c = LruCache::new(4);
+        for k in 0..4 {
+            c.insert(k, k * 10);
+        }
+        // Recency (MRU→LRU): 3 2 1 0.
+        assert_eq!(c.remove(&2), Some(20)); // middle of the list
+        assert_eq!(c.remove(&2), None);
+        assert_eq!(c.pop_lru(), Some((0, 0)));
+        assert_eq!(c.pop_lru(), Some((1, 10)));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.pop_lru(), Some((3, 30)));
+        assert_eq!(c.pop_lru(), None);
+        assert!(c.is_empty());
+        // The cache still works after draining.
+        c.insert(9, 90);
+        assert_eq!(c.get(&9), Some(&90));
+    }
+
+    #[test]
+    fn removing_head_and_tail_rethreads_correctly() {
+        let mut c = LruCache::new(8);
+        for k in 0..5 {
+            c.insert(k, k);
+        }
+        assert_eq!(c.remove(&4), Some(4)); // head (MRU)
+        assert_eq!(c.remove(&0), Some(0)); // tail (LRU)
+        c.insert(7, 7);
+        assert_eq!(c.pop_lru(), Some((1, 1)));
+        assert_eq!(c.len(), 3);
+        for k in [2, 3, 7] {
+            assert!(c.get(&k).is_some(), "{k} survived");
         }
     }
 

@@ -22,7 +22,7 @@
 //! [`Service::run_many`]: ../pmevo/struct.Service.html#method.run_many
 
 use crate::lru::LruCache;
-use crate::store::{MappingId, MappingStore};
+use crate::store::{LoadedArtifact, MappingId, MappingStore, StoreError};
 use pmevo_core::{
     CompiledExperiments, Experiment, MappingJsonError, MeasuredExperiment, ThreeLevelMapping,
     ThroughputSolver,
@@ -268,7 +268,7 @@ impl Predictor {
     }
 
     /// [`insert_mapping`](Self::insert_mapping) from a JSON mapping
-    /// artifact — the daemon's hot-reload entry point.
+    /// artifact — a pinned (never-evicted) registration.
     ///
     /// # Errors
     ///
@@ -281,6 +281,50 @@ impl Predictor {
     ) -> Result<MappingId, MappingJsonError> {
         let mapping = ThreeLevelMapping::from_json(artifact_json)?;
         Ok(self.insert_mapping(name, inst_names, mapping))
+    }
+
+    /// Registers a mapping from an artifact *file* into the live service
+    /// — the daemon's hot-reload entry point. The entry remembers its
+    /// path, so under a store budget it is evictable and lazily
+    /// reloadable; see [`MappingStore::insert_from_file`].
+    ///
+    /// The swap is atomic either way: on success new snapshots observe
+    /// the new version, and on failure the serving snapshot is exactly
+    /// what it was — no partially-inserted entry, no burned version.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreError`]; the store is untouched on every error.
+    pub fn insert_from_file(
+        &self,
+        name: impl Into<String>,
+        path: &str,
+        json_names: Option<&[String]>,
+    ) -> Result<MappingId, StoreError> {
+        let mut guard = self.store.write().expect("store lock poisoned");
+        let mut next = MappingStore::clone(&guard);
+        let id = next.insert_from_file(name, path, json_names)?;
+        *guard = Arc::new(next);
+        Ok(id)
+    }
+
+    /// [`insert_from_file`](Self::insert_from_file) for an artifact the
+    /// caller has already loaded and validated — see
+    /// [`MappingStore::insert_loaded`]. Same atomic-swap contract.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreError`]; the store is untouched on every error.
+    pub fn insert_loaded(
+        &self,
+        name: impl Into<String>,
+        loaded: LoadedArtifact,
+    ) -> Result<MappingId, StoreError> {
+        let mut guard = self.store.write().expect("store lock poisoned");
+        let mut next = MappingStore::clone(&guard);
+        let id = next.insert_loaded(name, loaded)?;
+        *guard = Arc::new(next);
+        Ok(id)
     }
 
     /// Number of pool workers.
@@ -323,13 +367,43 @@ impl Predictor {
     ///
     /// # Panics
     ///
+    /// Panics if `id` is not from this store, a sequence references an
+    /// instruction outside the mapping's universe, or an evicted
+    /// payload's lazy reload fails (serving front ends route through
+    /// [`try_predict_batch`](Self::try_predict_batch) to report that
+    /// per query instead).
+    pub fn predict_batch(&self, id: MappingId, sequences: &[Experiment]) -> Vec<f64> {
+        self.try_predict_batch(id, sequences)
+            .unwrap_or_else(|e| panic!("mapping unavailable: {e}"))
+    }
+
+    /// [`predict_batch`](Self::predict_batch) that surfaces lazy-reload
+    /// failures instead of panicking — the serving daemon's entry point,
+    /// where a corrupt artifact on disk must degrade one mapping's
+    /// queries, not the process.
+    ///
+    /// # Errors
+    ///
+    /// The [`StoreError`] of the failed payload (re)load; no counters
+    /// are advanced and the cache is untouched then.
+    ///
+    /// # Panics
+    ///
     /// Panics if `id` is not from this store or a sequence references an
     /// instruction outside the mapping's universe.
-    pub fn predict_batch(&self, id: MappingId, sequences: &[Experiment]) -> Vec<f64> {
+    pub fn try_predict_batch(
+        &self,
+        id: MappingId,
+        sequences: &[Experiment],
+    ) -> Result<Vec<f64>, StoreError> {
         // Pin the batch to one snapshot: a concurrent reload swaps the
         // store pointer but cannot touch this entry.
         let store = self.snapshot();
         let stored = store.get_arc(id);
+        // Resolve the payload once, up front: the whole batch — cache
+        // writes included — solves against this one `Arc`, so a
+        // concurrent eviction cannot change the bits mid-batch.
+        let mapping = stored.mapping()?;
         let num_insts = stored.num_insts();
         for e in sequences {
             if let Some((inst, _)) = e.iter().last() {
@@ -372,7 +446,7 @@ impl Predictor {
                 .fetch_add((sequences.len() - miss_idx.len()) as u64, Ordering::Relaxed);
         }
         if miss_idx.is_empty() {
-            return results;
+            return Ok(results);
         }
 
         let solve_start = std::time::Instant::now();
@@ -402,7 +476,7 @@ impl Predictor {
         };
         if let Some(mut guard) = inline_guard {
             let g = &mut *guard;
-            g.solver.load_mapping(&compiled, stored.mapping());
+            g.solver.load_mapping(&compiled, &mapping);
             g.indices.clear();
             g.indices.extend(0..n as u32);
             g.solver.predict_batch(&compiled, &g.indices, &mut g.out);
@@ -411,7 +485,7 @@ impl Predictor {
             }
         } else {
             let compiled = Arc::new(compiled);
-            let mapping = Arc::clone(stored.mapping());
+            let mapping = Arc::clone(&mapping);
             let chunks = self.workers.len().min(n).max(1);
             let chunk_size = n.div_ceil(chunks);
             let (tx, rx) = channel();
@@ -457,7 +531,7 @@ impl Predictor {
                 cache.insert(sequences[i].clone(), results[i]);
             }
         }
-        results
+        Ok(results)
     }
 
     /// Predicts a single sequence — [`predict_batch`](Self::predict_batch)
@@ -476,7 +550,22 @@ impl Predictor {
     ///
     /// As for [`predict_batch`](Self::predict_batch).
     pub fn predict_routed(&self, queries: &[(MappingId, Experiment)]) -> Vec<f64> {
-        let mut out = vec![0.0f64; queries.len()];
+        self.try_predict_routed(queries)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("mapping unavailable: {e}")))
+            .collect()
+    }
+
+    /// [`predict_routed`](Self::predict_routed) that surfaces
+    /// lazy-reload failures per query: when one mapping's payload cannot
+    /// be (re)loaded, every query routed to it gets that `Err` while the
+    /// other mappings' queries answer normally — one rotten artifact on
+    /// disk must not take down the window it was coalesced into.
+    pub fn try_predict_routed(
+        &self,
+        queries: &[(MappingId, Experiment)],
+    ) -> Vec<Result<f64, StoreError>> {
+        let mut out: Vec<Result<f64, StoreError>> = vec![Ok(0.0); queries.len()];
         let mut ids: Vec<MappingId> = queries.iter().map(|&(id, _)| id).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -487,8 +576,17 @@ impl Predictor {
                 .filter(|(_, (gid, _))| *gid == id)
                 .map(|(slot, (_, e))| (slot, e.clone()))
                 .unzip();
-            for (slot, t) in slots.into_iter().zip(self.predict_batch(id, &seqs)) {
-                out[slot] = t;
+            match self.try_predict_batch(id, &seqs) {
+                Ok(values) => {
+                    for (slot, t) in slots.into_iter().zip(values) {
+                        out[slot] = Ok(t);
+                    }
+                }
+                Err(e) => {
+                    for slot in slots {
+                        out[slot] = Err(e.clone());
+                    }
+                }
             }
         }
         out
@@ -540,7 +638,7 @@ mod tests {
     #[test]
     fn batch_matches_reference_throughput_bitwise() {
         let (store, id) = demo_store();
-        let mapping = Arc::clone(store.get(id).mapping());
+        let mapping = store.get(id).mapping().unwrap();
         let predictor = Predictor::new(store, PredictorConfig { workers: 3, cache_capacity: 8 });
         let seqs = demo_sequences();
         let got = predictor.predict_batch(id, &seqs);

@@ -1,0 +1,96 @@
+//! Model-based check of [`LruCache`] against a deliberately naive
+//! reference: a `Vec` ordered most-recent-first with linear scans.
+//! Random op streams (insert/get/remove/pop_lru) over a small key range
+//! must produce identical observable behaviour — including the full
+//! recency order, which the final drain-by-`pop_lru` comparison pins
+//! down exactly.
+
+use pmevo_predict::LruCache;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The naive reference: entries most-recent-first, every operation a
+/// linear scan. Too slow to ship, trivially correct to review.
+struct ModelLru {
+    capacity: usize,
+    /// `entries[0]` is the most recently used.
+    entries: Vec<(u64, u64)>,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        ModelLru { capacity, entries: Vec::new() }
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        self.entries.insert(0, entry);
+        Some(entry.1)
+    }
+
+    fn insert(&mut self, key: u64, value: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (key, value));
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u64> {
+        let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    fn pop_lru(&mut self) -> Option<(u64, u64)> {
+        self.entries.pop()
+    }
+}
+
+/// One operation: (opcode, key, value). Keys are drawn from a tiny
+/// range so streams collide constantly — the interesting regime for
+/// recency bookkeeping.
+type Op = (u8, u64, u64);
+
+fn apply(cache: &mut LruCache<u64, u64>, model: &mut ModelLru, op: Op) {
+    let (code, key, value) = op;
+    match code % 4 {
+        0 => cache.insert(key, value),
+        1 => assert_eq!(cache.get(&key).copied(), model.get(key), "get({key})"),
+        2 => assert_eq!(cache.remove(&key), model.remove(key), "remove({key})"),
+        _ => assert_eq!(cache.pop_lru(), model.pop_lru(), "pop_lru"),
+    }
+    if code % 4 == 0 {
+        model.insert(key, value);
+    }
+    assert_eq!(cache.len(), model.entries.len(), "len after {op:?}");
+    assert_eq!(cache.is_empty(), model.entries.is_empty());
+}
+
+proptest! {
+    #[test]
+    fn lru_matches_naive_model(
+        capacity in 0usize..=4,
+        ops in vec((0u8..4, 0u64..8, 0u64..100), 0..64),
+    ) {
+        let mut cache = LruCache::new(capacity);
+        let mut model = ModelLru::new(capacity);
+        prop_assert_eq!(cache.capacity(), capacity);
+        for op in ops {
+            apply(&mut cache, &mut model, op);
+        }
+        // Drain both by recency: this compares not just the surviving
+        // key/value pairs but their exact least-recently-used order.
+        loop {
+            let (got, want) = (cache.pop_lru(), model.pop_lru());
+            prop_assert_eq!(got, want, "drain order diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}

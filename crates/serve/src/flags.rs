@@ -55,6 +55,32 @@ pub fn positive_flag(args: &[String], name: &str, default: usize) -> Result<usiz
     }
 }
 
+/// Parses the byte-count flag `name` (`--store-budget 64m`): a plain
+/// number of bytes, optionally suffixed `k`/`m`/`g` (case-insensitive,
+/// powers of 1024). Absent means `None` — no budget.
+///
+/// # Errors
+///
+/// `error: --store-budget expects bytes (with an optional k/m/g
+/// suffix), got "..."` on malformed values and on multiplier overflow.
+pub fn byte_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    let Some(v) = flag(args, name) else {
+        return Ok(None);
+    };
+    let bad = || format!("error: {name} expects bytes (with an optional k/m/g suffix), got {v:?}");
+    let (digits, shift) = match v.char_indices().last() {
+        Some((i, c)) if c.eq_ignore_ascii_case(&'k') => (&v[..i], 10),
+        Some((i, c)) if c.eq_ignore_ascii_case(&'m') => (&v[..i], 20),
+        Some((i, c)) if c.eq_ignore_ascii_case(&'g') => (&v[..i], 30),
+        _ => (v.as_str(), 0),
+    };
+    let n: u64 = digits.trim().parse().map_err(|_| bad())?;
+    n.checked_shl(shift)
+        .filter(|scaled| scaled >> shift == n)
+        .map(Some)
+        .ok_or_else(bad)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +109,22 @@ mod tests {
         // A flag given as the last token has no value to parse.
         let trailing = args(&["--jobs"]);
         assert_eq!(num_flag(&trailing, "--jobs", 7usize), Ok(7));
+    }
+
+    #[test]
+    fn byte_flag_scales_suffixes_and_rejects_junk() {
+        let a = args(&["--store-budget", "64M"]);
+        assert_eq!(byte_flag(&a, "--store-budget"), Ok(Some(64 << 20)));
+        assert_eq!(byte_flag(&a, "--other"), Ok(None));
+        for (v, want) in [("4096", 4096u64), ("2k", 2 << 10), ("1g", 1 << 30), ("0", 0)] {
+            let a = args(&["--store-budget", v]);
+            assert_eq!(byte_flag(&a, "--store-budget"), Ok(Some(want)), "{v}");
+        }
+        for v in ["abc", "12q", "-5", "", "999999999999g"] {
+            let a = args(&["--store-budget", v]);
+            let err = byte_flag(&a, "--store-budget").unwrap_err();
+            assert!(err.contains("expects bytes"), "{v}: {err}");
+        }
     }
 
     #[test]

@@ -50,4 +50,4 @@ mod server;
 mod specs;
 
 pub use server::{Server, ServeConfig};
-pub use specs::{load_platform_mapping, route_line, store_from_specs};
+pub use specs::{load_spec_artifact, route_line, store_from_specs};

@@ -4,12 +4,12 @@
 //! pmevo-serve --mapping TINY=tiny.json [--mapping SKL=skl.json ...]
 //!             [--tcp 127.0.0.1:7077] [--unix /tmp/pmevo.sock]
 //!             [--jobs N] [--cache N] [--max-batch N] [--max-delay-ms N]
-//!             [--inflight N]
+//!             [--inflight N] [--store-budget BYTES]
 //! ```
 //!
 //! See the `pmevo-serve` library crate docs for the wire protocol.
 
-use pmevo_serve::flags::{flag, flag_all, num_flag, positive_flag};
+use pmevo_serve::flags::{byte_flag, flag, flag_all, num_flag, positive_flag};
 use pmevo_serve::{store_from_specs, ServeConfig, Server};
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -28,7 +28,9 @@ fn usage() -> ExitCode {
          \x20 --cache N                 LRU cache capacity per mapping (default 65536)\n\
          \x20 --max-batch N             largest coalesced batch (default 1024)\n\
          \x20 --max-delay-ms N          coalescing window in milliseconds (default 1)\n\
-         \x20 --inflight N              per-connection unanswered-line cap (default 1024)"
+         \x20 --inflight N              per-connection unanswered-line cap (default 1024)\n\
+         \x20 --store-budget BYTES      mapping-payload memory budget (k/m/g suffixes;\n\
+         \x20                           evicted payloads reload lazily from their artifacts)"
     );
     ExitCode::from(2)
 }
@@ -58,7 +60,14 @@ fn main() -> ExitCode {
         }
     };
 
-    let store = match store_from_specs(&flag_all(&args, "--mapping")) {
+    let budget = match byte_flag(&args, "--store-budget") {
+        Ok(budget) => budget,
+        Err(message) => {
+            eprintln!("{message}");
+            return usage();
+        }
+    };
+    let store = match store_from_specs(&flag_all(&args, "--mapping"), budget) {
         Ok(store) => store,
         Err(message) => {
             eprintln!("error: {message}");

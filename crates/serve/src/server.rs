@@ -2,7 +2,7 @@
 //! queue, one coalescer thread batching across connections, and the
 //! control plane (stats, hot reload, shutdown).
 
-use crate::specs::{load_platform_mapping, route_line};
+use crate::specs::{load_spec_artifact, route_line};
 use pmevo_core::json::{self, Value};
 use pmevo_core::{parse_control, ControlVerb, Experiment, SequenceParseError, ServeRecord};
 use pmevo_predict::{MappingId, MappingStore, PredictStats, Predictor, PredictorConfig};
@@ -567,7 +567,7 @@ fn flush_window(shared: &Shared, window: &mut Vec<Submission>) {
             _ => None,
         })
         .collect();
-    let cycles = shared.predictor.predict_routed(&queries);
+    let cycles = shared.predictor.try_predict_routed(&queries);
     let mut answered = cycles.into_iter();
     // Labels resolve through the *current* snapshot; ids are append-only
     // across reloads, so an id routed pre-reload still labels correctly.
@@ -575,12 +575,21 @@ fn flush_window(shared: &Shared, window: &mut Vec<Submission>) {
     for submission in window.drain(..) {
         let record = match submission.payload {
             Payload::Seq(id, _) => match answered.next() {
-                Some(cycles) => ServeRecord::Cycles {
+                Some(Ok(cycles)) => ServeRecord::Cycles {
                     line: submission.line,
                     mapping: store.get(id).label(),
                     cycles,
                 },
-                // predict_routed answers every query; a short return
+                // An evicted payload whose lazy reload failed (artifact
+                // deleted or corrupted underneath a budgeted store): the
+                // error — which names the artifact path — is this line's
+                // record, and every other line in the window still
+                // answers.
+                Some(Err(e)) => ServeRecord::Error {
+                    line: submission.line,
+                    message: format!("prediction unavailable: {e}"),
+                },
+                // try_predict_routed answers every query; a short return
                 // would be a predictor bug, but a daemon reports it
                 // instead of dying.
                 None => ServeRecord::Error {
@@ -639,12 +648,18 @@ fn run_control(shared: &Shared, submission: Submission) -> Flow {
 /// response carries the new `name@version` label; routing of lines read
 /// after this point resolves to it, while batches already in flight
 /// drain against the snapshot they started with.
+///
+/// The registration is atomic: a failing reload — unreadable file,
+/// corrupt artifact, shape or name-table mismatch — leaves the serving
+/// snapshot exactly as it was (no partial entry, no burned version) and
+/// answers with an error record naming the artifact path, so a later
+/// retry against a fixed file lands as the *next* version.
 fn reload(shared: &Shared, line: u64, name: &str, path: &str) -> String {
-    match load_platform_mapping(name, path) {
-        Ok((platform, mapping)) => {
-            let inst_names =
-                platform.isa().forms().iter().map(|f| f.name.clone()).collect();
-            let id = shared.predictor.insert_mapping(platform.name(), inst_names, mapping);
+    let reloaded = load_spec_artifact(name, path).and_then(|(canonical, loaded)| {
+        shared.predictor.insert_loaded(canonical, loaded).map_err(|e| e.to_string())
+    });
+    match reloaded {
+        Ok(id) => {
             let label = shared.predictor.snapshot().get(id).label();
             json::write_compact(&Value::Obj(vec![
                 ("line".into(), Value::UInt(line)),
@@ -657,26 +672,54 @@ fn reload(shared: &Shared, line: u64, name: &str, path: &str) -> String {
     }
 }
 
-/// The `!mappings` response: every loaded mapping as a `name@version`
-/// label with its per-mapping query count, in store order (load order).
-/// A slimmer view than `!stats` for clients that only need to know what
-/// the daemon can route to — e.g. the serve smoke script checking verb
-/// wiring.
-fn mappings_record(shared: &Shared, line: u64) -> String {
-    let mappings = shared
-        .predictor
-        .per_mapping_queries()
-        .into_iter()
-        .map(|(label, queries)| {
+/// Per-mapping breakdown shared by `!stats` and `!mappings`: the
+/// `name@version` label, its query count, and its payload residency
+/// (whether the decomposition is in memory right now, and how many
+/// bytes it is accounted at) — in store order (load order).
+fn mapping_entries(shared: &Shared) -> Vec<Value> {
+    let store = shared.predictor.snapshot();
+    store
+        .ids()
+        .zip(shared.predictor.per_mapping_queries())
+        .map(|(id, (label, queries))| {
+            let entry = store.get(id);
             Value::Obj(vec![
                 ("mapping".into(), Value::Str(label)),
                 ("queries".into(), Value::UInt(queries)),
+                ("resident".into(), Value::Bool(entry.is_resident())),
+                ("bytes".into(), Value::UInt(entry.payload_bytes())),
             ])
         })
-        .collect();
+        .collect()
+}
+
+/// The store-level residency counters for `!stats`: the byte budget (or
+/// `null` when unbudgeted), bytes currently resident (payloads and
+/// interned name tables separately), and the cumulative eviction/reload
+/// counts that show the budget machinery working.
+fn store_record(shared: &Shared) -> Value {
+    let store = shared.predictor.snapshot();
+    let r = store.residency_stats();
+    Value::Obj(vec![
+        ("budget".into(), r.budget.map_or(Value::Null, Value::UInt)),
+        ("resident_bytes".into(), Value::UInt(r.resident_bytes)),
+        ("name_bytes".into(), Value::UInt(r.name_bytes)),
+        ("evictions".into(), Value::UInt(r.evictions)),
+        ("reloads".into(), Value::UInt(r.reloads)),
+        ("entries".into(), Value::UInt(store.len() as u64)),
+        ("resident".into(), Value::UInt(store.resident_count() as u64)),
+    ])
+}
+
+/// The `!mappings` response: every loaded mapping as a `name@version`
+/// label with its per-mapping query count and payload residency, in
+/// store order (load order). A slimmer view than `!stats` for clients
+/// that only need to know what the daemon can route to — e.g. the serve
+/// smoke script checking verb wiring.
+fn mappings_record(shared: &Shared, line: u64) -> String {
     json::write_compact(&Value::Obj(vec![
         ("line".into(), Value::UInt(line)),
-        ("mappings".into(), Value::Arr(mappings)),
+        ("mappings".into(), Value::Arr(mapping_entries(shared))),
     ]))
 }
 
@@ -719,17 +762,6 @@ fn stats_record(shared: &Shared, line: u64) -> String {
     } else {
         0.0
     };
-    let mappings = shared
-        .predictor
-        .per_mapping_queries()
-        .into_iter()
-        .map(|(label, queries)| {
-            Value::Obj(vec![
-                ("mapping".into(), Value::Str(label)),
-                ("queries".into(), Value::UInt(queries)),
-            ])
-        })
-        .collect();
     json::write_compact(&Value::Obj(vec![
         ("line".into(), Value::UInt(line)),
         (
@@ -770,7 +802,8 @@ fn stats_record(shared: &Shared, line: u64) -> String {
                         ("miss_solve_share".into(), Value::Num(miss_solve_share)),
                     ]),
                 ),
-                ("mappings".into(), Value::Arr(mappings)),
+                ("mappings".into(), Value::Arr(mapping_entries(shared))),
+                ("store".into(), store_record(shared)),
             ]),
         ),
     ]))
@@ -933,9 +966,68 @@ mod tests {
             responses[3]
         );
         assert!(
-            responses[4].contains("\"mappings\":[{\"mapping\":\"TINY@1\",\"queries\":1},{\"mapping\":\"TINY@2\",\"queries\":1}]"),
-            "stats break down the per-mapping load: {}",
+            responses[4].contains("{\"mapping\":\"TINY@1\",\"queries\":1,\"resident\":true,\"bytes\":")
+                && responses[4].contains("{\"mapping\":\"TINY@2\",\"queries\":1,\"resident\":true,\"bytes\":"),
+            "stats break down the per-mapping load and residency: {}",
             responses[4]
+        );
+        assert!(
+            responses[4].contains("\"store\":{\"budget\":null,\"resident_bytes\":"),
+            "stats report the store's residency counters: {}",
+            responses[4]
+        );
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn failed_reloads_are_atomic_and_name_the_path() {
+        let dir = std::env::temp_dir().join("pmevo_serve_reload_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let garbage = dir.join("garbage.bin");
+        // Sniffs as a binary artifact, then fails to decode.
+        std::fs::write(&garbage, b"PMEVOBINgarbage").unwrap();
+
+        let (server, addr) = start_tcp(tiny_store());
+        let responses = roundtrip(
+            addr,
+            &format!(
+                "!reload TINY={}\n!reload TINY=/definitely/not/here.bin\n!mappings\n",
+                garbage.display()
+            ),
+        );
+        assert_eq!(responses.len(), 3, "{responses:?}");
+        assert!(
+            responses[0].contains("\"error\":\"reload failed:")
+                && responses[0].contains("garbage.bin"),
+            "a corrupt artifact fails with its path named: {}",
+            responses[0]
+        );
+        assert!(
+            responses[1].contains("/definitely/not/here.bin"),
+            "an unreadable artifact fails with its path named: {}",
+            responses[1]
+        );
+        assert!(
+            responses[2].contains("\"mapping\":\"TINY@1\"")
+                && !responses[2].contains("TINY@2"),
+            "failed reloads leave the store untouched: {}",
+            responses[2]
+        );
+
+        // Fix the artifact and retry: the reload lands as version 2 —
+        // the failures burned no version numbers and left no partial
+        // entry behind.
+        let fixed = dir.join("tiny_fixed.json");
+        std::fs::write(&fixed, platforms::tiny().ground_truth().to_json_pretty()).unwrap();
+        let responses =
+            roundtrip(addr, &format!("!reload TINY={}\n!mappings\n", fixed.display()));
+        assert_eq!(responses[0], "{\"line\":1,\"reloaded\":\"TINY@2\"}", "{responses:?}");
+        assert!(
+            responses[1].contains("\"mapping\":\"TINY@1\"")
+                && responses[1].contains("\"mapping\":\"TINY@2\""),
+            "both versions are listed after the healed reload: {}",
+            responses[1]
         );
         server.stop();
         server.join();

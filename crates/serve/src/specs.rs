@@ -3,60 +3,87 @@
 //! offline pipe resolve `--mapping` specs and `PLATFORM:` prefixes
 //! identically.
 
-use pmevo_core::ThreeLevelMapping;
-use pmevo_machine::{platforms, Platform};
-use pmevo_predict::{MappingId, MappingStore};
+use pmevo_machine::platforms;
+use pmevo_predict::{
+    load_artifact_file, validate_mapping_name, LoadedArtifact, MappingId, MappingStore, StoreError,
+};
 
-/// Loads a `NAME=file.json` mapping artifact: `NAME` must be a built-in
-/// platform (it provides the instruction-name table), and the artifact's
-/// shape must match that platform's ISA and port count.
+/// Loads and validates one `NAME=file` mapping artifact, returning the
+/// canonical registration name and the loaded artifact (which remembers
+/// its path, so budgeted stores can evict and lazily reload it).
+///
+/// Two kinds of name are accepted:
+///
+/// * a **built-in platform** (`SKL`, `ZEN`, `A72`, `TINY`) — the
+///   platform supplies the instruction-name table JSON artifacts lack,
+///   and the artifact's shape (instruction count *and* port count) is
+///   checked against it; binary artifacts additionally have their
+///   embedded table verified against the platform's;
+/// * **any other registrable name** — allowed only for binary artifacts,
+///   which embed their own name table; a JSON artifact under an unknown
+///   name has no instruction names to resolve sequences with, so it is
+///   refused with a message saying exactly that.
 ///
 /// # Errors
 ///
-/// A printable message for unknown platforms, unreadable files,
-/// unparseable artifacts and shape mismatches.
-pub fn load_platform_mapping(name: &str, path: &str) -> Result<(Platform, ThreeLevelMapping), String> {
-    let platform = platforms::by_name(name).ok_or_else(|| {
-        format!("unknown platform {name:?}; expected SKL, ZEN, A72 or TINY")
-    })?;
-    let data = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mapping =
-        ThreeLevelMapping::from_json(&data).map_err(|e| format!("cannot parse {path}: {e}"))?;
-    if mapping.num_insts() != platform.isa().len() || mapping.num_ports() != platform.num_ports() {
-        return Err(format!(
-            "mapping shape ({} insts, {} ports) does not match platform {} ({} insts, {} ports)",
-            mapping.num_insts(),
-            mapping.num_ports(),
-            platform.name(),
-            platform.isa().len(),
-            platform.num_ports()
-        ));
+/// A printable message for unregistrable names (`@`, `=`, whitespace —
+/// reserved by the `name@version` / `NAME=file` grammars), unreadable
+/// files, corrupt artifacts, shape mismatches and name-table mismatches.
+pub fn load_spec_artifact(name: &str, path: &str) -> Result<(String, LoadedArtifact), String> {
+    validate_mapping_name(name).map_err(|e| e.to_string())?;
+    match platforms::by_name(name) {
+        Some(platform) => {
+            let names: Vec<String> =
+                platform.isa().forms().iter().map(|f| f.name.clone()).collect();
+            let loaded = load_artifact_file(path, Some(&names)).map_err(|e| e.to_string())?;
+            if loaded.mapping.num_ports() != platform.num_ports() {
+                return Err(format!(
+                    "mapping shape ({} insts, {} ports) does not match platform {} ({} insts, {} ports)",
+                    loaded.mapping.num_insts(),
+                    loaded.mapping.num_ports(),
+                    platform.name(),
+                    platform.isa().len(),
+                    platform.num_ports()
+                ));
+            }
+            Ok((platform.name().to_owned(), loaded))
+        }
+        None => match load_artifact_file(path, None) {
+            Ok(loaded) => Ok((name.to_owned(), loaded)),
+            Err(StoreError::MissingNames { path }) => Err(format!(
+                "{name:?} is not a built-in platform, so {path} must be a binary \
+                 artifact (JSON artifacts carry no instruction names; \
+                 see `pmevo-cli convert`)"
+            )),
+            Err(e) => Err(e.to_string()),
+        },
     }
-    Ok((platform, mapping))
 }
 
-/// Builds a [`MappingStore`] from `NAME=file.json` specs (the repeated
-/// `--mapping` flags of `pmevo-serve` and `pmevo-cli predict`).
+/// Builds a [`MappingStore`] from `NAME=file` specs (the repeated
+/// `--mapping` flags of `pmevo-serve` and `pmevo-cli predict`), holding
+/// payloads under `budget` bytes when one is given (`--store-budget`).
+/// Every entry is registered through [`load_spec_artifact`], so it is
+/// evictable and lazily reloadable from its artifact path.
 ///
 /// # Errors
 ///
 /// `at least one --mapping NAME=file.json is required` for an empty spec
 /// list — a serving process with an empty store has nothing to answer
-/// from — plus every failure of [`load_platform_mapping`].
-pub fn store_from_specs(specs: &[String]) -> Result<MappingStore, String> {
+/// from — plus every failure of [`load_spec_artifact`].
+pub fn store_from_specs(specs: &[String], budget: Option<u64>) -> Result<MappingStore, String> {
     if specs.is_empty() {
         return Err("at least one --mapping NAME=file.json is required".to_string());
     }
-    let mut store = MappingStore::new();
+    let mut store = MappingStore::with_budget(budget);
     for spec in specs {
         let Some((name, path)) = spec.split_once('=') else {
             return Err(format!(
                 "--mapping {spec:?} is not of the form NAME=file.json (or pass --platform P --mapping file.json)"
             ));
         };
-        let (platform, mapping) = load_platform_mapping(name, path)?;
-        let inst_names = platform.isa().forms().iter().map(|f| f.name.clone()).collect();
-        store.insert(platform.name(), inst_names, mapping);
+        let (canonical, loaded) = load_spec_artifact(name, path)?;
+        store.insert_loaded(canonical, loaded).map_err(|e| e.to_string())?;
     }
     Ok(store)
 }
@@ -93,38 +120,106 @@ pub fn route_line<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pmevo_core::MappingArtifact;
+
+    fn scratch(file: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pmevo_serve_specs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(file)
+    }
 
     #[test]
     fn specs_require_at_least_one_mapping() {
-        let err = store_from_specs(&[]).unwrap_err();
+        let err = store_from_specs(&[], None).unwrap_err();
         assert_eq!(err, "at least one --mapping NAME=file.json is required");
     }
 
     #[test]
     fn specs_reject_malformed_and_unknown_entries() {
-        assert!(store_from_specs(&["bare.json".into()]).unwrap_err().contains("NAME=file.json"));
-        assert!(
-            store_from_specs(&["M1=x.json".into()]).unwrap_err().contains("unknown platform")
-        );
-        assert!(store_from_specs(&["TINY=/definitely/not/here.json".into()])
-            .unwrap_err()
-            .contains("cannot read"));
+        let bare = store_from_specs(&["bare.json".into()], None).unwrap_err();
+        assert!(bare.contains("NAME=file.json"), "{bare}");
+        // An unknown name is only an error for JSON artifacts (no name
+        // table); the message explains the binary alternative.
+        let unknown = store_from_specs(&["M1=/definitely/not/here.json".into()], None).unwrap_err();
+        assert!(unknown.contains("cannot read"), "{unknown}");
+        let missing =
+            store_from_specs(&["TINY=/definitely/not/here.json".into()], None).unwrap_err();
+        assert!(missing.contains("cannot read"), "{missing}");
+    }
+
+    #[test]
+    fn specs_reject_reserved_characters_in_names() {
+        // `@` is the version separator of `name@version` labels and `=`
+        // splits the spec itself, so neither can be a mapping name.
+        let err = store_from_specs(&["TINY@2=x.json".into()], None).unwrap_err();
+        assert!(err.contains("invalid mapping name"), "{err}");
+        assert!(err.contains('@'), "{err}");
     }
 
     #[test]
     fn specs_load_and_shape_check_real_artifacts() {
-        let dir = std::env::temp_dir().join("pmevo_serve_specs_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let good = dir.join("tiny.json");
+        let good = scratch("tiny.json");
         std::fs::write(&good, platforms::tiny().ground_truth().to_json_pretty()).unwrap();
         let store =
-            store_from_specs(&[format!("TINY={}", good.display())]).expect("valid artifact");
+            store_from_specs(&[format!("TINY={}", good.display())], None).expect("valid artifact");
         assert_eq!(store.len(), 1);
         assert_eq!(store.get(store.latest("TINY").unwrap()).label(), "TINY@1");
 
         // The same artifact under the wrong platform is a shape error.
-        let err = store_from_specs(&[format!("SKL={}", good.display())]).unwrap_err();
-        assert!(err.contains("does not match platform"), "{err}");
+        let err = store_from_specs(&[format!("SKL={}", good.display())], None).unwrap_err();
+        assert!(
+            err.contains("does not match") || err.contains("does not fit"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn binary_specs_work_for_platforms_and_free_names() {
+        let tiny = platforms::tiny();
+        let names: Vec<String> = tiny.isa().forms().iter().map(|f| f.name.clone()).collect();
+        let artifact = MappingArtifact::new(names, tiny.ground_truth().clone());
+        let path = scratch("tiny_spec.bin");
+        std::fs::write(&path, artifact.to_bytes()).unwrap();
+
+        // Under the platform name the embedded table is verified.
+        let store = store_from_specs(&[format!("TINY={}", path.display())], None).unwrap();
+        assert_eq!(store.get(store.latest("TINY").unwrap()).label(), "TINY@1");
+        // Under a free name the embedded table simply IS the table.
+        let store = store_from_specs(&[format!("FLEET7={}", path.display())], None).unwrap();
+        let id = store.latest("FLEET7").unwrap();
+        assert!(store.get(id).resolve("add_r64_r64_r64").is_some());
+
+        // A JSON artifact under a free name has no name table: refused
+        // with a pointer at the binary format.
+        let json = scratch("tiny_spec.json");
+        std::fs::write(&json, tiny.ground_truth().to_json_pretty()).unwrap();
+        let err = store_from_specs(&[format!("FLEET7={}", json.display())], None).unwrap_err();
+        assert!(err.contains("not a built-in platform"), "{err}");
+        assert!(err.contains("tiny_spec.json"), "error names the path: {err}");
+    }
+
+    #[test]
+    fn budgeted_specs_register_evictable_entries() {
+        let tiny = platforms::tiny();
+        let names: Vec<String> = tiny.isa().forms().iter().map(|f| f.name.clone()).collect();
+        let artifact = MappingArtifact::new(names, tiny.ground_truth().clone());
+        let path = scratch("tiny_budget.bin");
+        std::fs::write(&path, artifact.to_bytes()).unwrap();
+
+        let specs = vec![
+            format!("A1={}", path.display()),
+            format!("B2={}", path.display()),
+            format!("C3={}", path.display()),
+        ];
+        let store = store_from_specs(&specs, Some(1)).expect("budget never refuses registration");
+        assert_eq!(store.budget(), Some(1));
+        // A 1-byte budget keeps at most the most recent payload resident;
+        // all three still answer (lazily reloading from their paths).
+        assert!(store.resident_count() <= 1);
+        for id in store.ids() {
+            assert!(store.get(id).mapping().is_ok(), "evicted entries reload on demand");
+        }
+        assert!(store.residency_stats().evictions > 0);
     }
 
     #[test]

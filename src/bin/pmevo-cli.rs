@@ -4,11 +4,17 @@
 //!
 //! * `platforms` — list the built-in simulated machines;
 //! * `infer --platform SKL [--population 300] [--algorithm pmevo]
-//!   [--seed N] [--out mapping.json] [--report report.json]` — run an
-//!   inference session and write the mapping (and optionally the full
-//!   session report) as JSON;
+//!   [--seed N] [--out mapping.json] [--format json|bin]
+//!   [--report report.json]` — run an inference session and write the
+//!   mapping (and optionally the full session report); `--format bin`
+//!   writes the compact binary artifact ([`MappingArtifact`]), which
+//!   embeds the platform's instruction-name table;
 //! * `show --platform SKL --mapping mapping.json [--limit 20]` — render
 //!   a mapping in uops.info-style notation;
+//! * `convert --in artifact --out artifact [--platform SKL]` — convert
+//!   a mapping artifact between JSON and the compact binary format (the
+//!   direction is sniffed from the input's magic); JSON inputs need
+//!   `--platform` to supply the name table the binary format embeds;
 //! * `predict --mapping SKL=skl.json [--mapping ZEN=zen.json ...]
 //!   [--jobs 4] [--cache 65536] [--batch 1024]` — the serving mode:
 //!   read line-oriented instruction sequences from stdin (optionally
@@ -33,27 +39,31 @@
 use pmevo::baselines::{CountingAlgorithm, LpAlgorithm, RandomAlgorithm};
 use pmevo::core::json::{self, Value};
 use pmevo::core::{
-    render, suggest, Experiment, InstId, SequenceParseError, ServeRecord, ThreeLevelMapping,
+    render, suggest, Experiment, InstId, MappingArtifact, SequenceParseError, ServeRecord,
+    ThreeLevelMapping,
 };
 use pmevo::machine::{platforms, MeasureConfig, Measurer, Platform};
 use pmevo::predict::{MappingId, MappingStore, Predictor, PredictorConfig};
-use pmevo::serve::flags::{flag, flag_all, num_flag, positive_flag};
-use pmevo::serve::{route_line, store_from_specs};
+use pmevo::serve::flags::{byte_flag, flag, flag_all, num_flag, positive_flag};
+use pmevo::serve::{load_spec_artifact, route_line, store_from_specs};
 use pmevo::Session;
 use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pmevo-cli <platforms|infer|show|predict|client> [flags]\n\
+        "usage: pmevo-cli <platforms|infer|show|predict|convert|client> [flags]\n\
          \n\
          pmevo-cli platforms\n\
          pmevo-cli infer   --platform SKL [--population 300] [--generations N]\n\
                            [--algorithm pmevo] [--seed N] [--out mapping.json]\n\
-                           [--report report.json]\n\
+                           [--format json|bin] [--report report.json]\n\
          pmevo-cli show    --platform SKL --mapping mapping.json [--limit 20]\n\
+         pmevo-cli convert --in artifact --out artifact [--platform SKL]\n\
+                           (JSON <-> compact binary; JSON to binary needs\n\
+                            --platform for the instruction-name table)\n\
          pmevo-cli predict --mapping SKL=skl.json [--mapping ZEN=zen.json ...]\n\
-                           [--jobs N] [--cache N] [--batch N]\n\
+                           [--jobs N] [--cache N] [--batch N] [--store-budget BYTES]\n\
                            (streams stdin sequences like \"SKL: add_r64_r64; imul_r64_r64 x2\"\n\
                             to JSON throughputs on stdout)\n\
          pmevo-cli predict --platform SKL --mapping mapping.json \\\n\
@@ -210,8 +220,17 @@ fn cmd_infer(args: &[String]) -> ExitCode {
         Ok(v) => v,
         Err(c) => return c,
     };
+    let format = flag(args, "--format").unwrap_or_else(|| "json".into());
+    if format != "json" && format != "bin" {
+        eprintln!("unknown --format {format}; expected json or bin");
+        return ExitCode::from(2);
+    }
     let out = flag(args, "--out")
-        .unwrap_or_else(|| format!("pmevo_{}.json", platform.name().to_lowercase()));
+        .unwrap_or_else(|| format!("pmevo_{}.{format}", platform.name().to_lowercase()));
+    // The binary artifact embeds the instruction-name table; capture it
+    // before the platform moves into the session builder.
+    let inst_names: Vec<String> =
+        platform.isa().forms().iter().map(|f| f.name.clone()).collect();
 
     let algorithm = flag(args, "--algorithm").unwrap_or_else(|| "pmevo".into());
     eprintln!(
@@ -250,8 +269,69 @@ fn cmd_infer(args: &[String]) -> ExitCode {
         }
         eprintln!("session report written to {report_path}");
     }
-    let json = report.mapping.to_json_pretty();
-    if let Err(e) = std::fs::write(&out, json) {
+    let artifact_bytes = if format == "bin" {
+        MappingArtifact::new(inst_names, report.mapping.clone()).to_bytes()
+    } else {
+        report.mapping.to_json_pretty().into_bytes()
+    };
+    if let Err(e) = std::fs::write(&out, artifact_bytes) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{out}");
+    ExitCode::SUCCESS
+}
+
+/// `convert`: re-encode a mapping artifact between JSON and the compact
+/// binary format, sniffing the direction from the input's content. The
+/// binary format embeds the instruction-name table, so converting *to*
+/// it needs `--platform`; converting *from* it drops the table (the
+/// JSON artifact format has none — it is the mapping alone).
+fn cmd_convert(args: &[String]) -> ExitCode {
+    let (Some(input), Some(out)) = (flag(args, "--in"), flag(args, "--out")) else {
+        eprintln!("convert needs --in <artifact> and --out <artifact>");
+        return ExitCode::from(2);
+    };
+    let bytes = match std::fs::read(&input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let written = if MappingArtifact::sniff(&bytes) {
+        match MappingArtifact::from_bytes(&bytes) {
+            Ok(artifact) => std::fs::write(&out, artifact.mapping().to_json_pretty()),
+            Err(e) => {
+                eprintln!("cannot decode {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        // JSON in: the name table must come from a built-in platform.
+        if flag(args, "--platform").is_none() {
+            eprintln!(
+                "converting a JSON artifact to binary needs --platform \
+                 (the binary format embeds the platform's instruction names)"
+            );
+            return ExitCode::from(2);
+        }
+        let platform = match platform_from(args) {
+            Ok(p) => p,
+            Err(c) => return c,
+        };
+        match load_spec_artifact(platform.name(), &input) {
+            Ok((_, loaded)) => {
+                let artifact = MappingArtifact::new(loaded.inst_names, loaded.mapping);
+                std::fs::write(&out, artifact.to_bytes())
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if let Err(e) = written {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
@@ -289,11 +369,18 @@ fn cmd_show(args: &[String]) -> ExitCode {
 }
 
 /// Loads the `--mapping` flags of serving mode into a store. Accepts
-/// `NAME=file.json` (NAME must be a built-in platform, which provides
-/// the instruction names) or a bare `file.json` with `--platform`; bare
-/// specs are normalized to `NAME=path` so the daemon and the offline
-/// pipe share one loader ([`store_from_specs`]).
+/// `NAME=file` (a built-in platform name, which provides the
+/// instruction names, or any name with a binary artifact, which embeds
+/// them) or a bare `file.json` with `--platform`; bare specs are
+/// normalized to `NAME=path` so the daemon and the offline pipe share
+/// one loader ([`store_from_specs`]). `--store-budget` caps the bytes
+/// of mapping payloads held resident; the rest reload lazily.
 fn build_store(args: &[String]) -> Result<MappingStore, ExitCode> {
+    let budget = byte_flag(args, "--store-budget").map_err(|message| {
+        eprintln!("{message}");
+        let _ = usage();
+        ExitCode::FAILURE
+    })?;
     let mut specs = flag_all(args, "--mapping");
     if specs.iter().any(|s| !s.contains('=')) {
         let platform = platform_from(args)?;
@@ -303,7 +390,7 @@ fn build_store(args: &[String]) -> Result<MappingStore, ExitCode> {
             }
         }
     }
-    store_from_specs(&specs).map_err(|message| {
+    store_from_specs(&specs, budget).map_err(|message| {
         eprintln!("error: {message}");
         usage()
     })
@@ -372,15 +459,22 @@ fn cmd_predict_stream(args: &[String]) -> ExitCode {
                 Entry::Failed(_) => None,
             })
             .unzip();
-        let mut cycles: Vec<Option<f64>> = vec![None; pending.len()];
-        for (slot, t) in slots.into_iter().zip(predictor.predict_routed(&queries)) {
+        let mut cycles = vec![None; pending.len()];
+        for (slot, t) in slots.into_iter().zip(predictor.try_predict_routed(&queries)) {
             cycles[slot] = Some(t);
         }
         for ((line, entry), t) in pending.drain(..).zip(cycles) {
             let record = match (entry, t) {
-                (Entry::Seq(id, _), Some(cycles)) => {
+                (Entry::Seq(id, _), Some(Ok(cycles))) => {
                     ServeRecord::Cycles { line, mapping: labels[id.index()].clone(), cycles }
                 }
+                // An evicted payload whose lazy reload failed (artifact
+                // gone from under a budgeted store): the error names the
+                // artifact path, and the stream keeps going.
+                (Entry::Seq(..), Some(Err(e))) => ServeRecord::Error {
+                    line,
+                    message: format!("prediction unavailable: {e}"),
+                },
                 // The predictor answers every routed query; an empty
                 // slot would be a predictor bug — report it as this
                 // line's record instead of killing the whole stream.
@@ -665,6 +759,7 @@ fn main() -> ExitCode {
         Some("platforms") => cmd_platforms(),
         Some("infer") => cmd_infer(&args[1..]),
         Some("show") => cmd_show(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         _ => usage(),

@@ -74,8 +74,73 @@ fn unreadable_and_malformed_mapping_specs_error_cleanly() {
     let out = run(&["predict", "--mapping", "TINY=/definitely/not/here.json"]);
     assert_graceful(&out, "cannot read /definitely/not/here.json");
 
-    let out = run(&["predict", "--mapping", "M1=x.json"]);
-    assert_graceful(&out, "unknown platform \"M1\"");
+    // A free (non-platform) name is legal only for binary artifacts,
+    // which embed their instruction names; a JSON artifact under one is
+    // refused with a pointer at the converter.
+    let tiny = scratch("free_name.json", &platforms::tiny().ground_truth().to_json_pretty());
+    let out = run(&["predict", "--mapping", &format!("M1={}", tiny.display())]);
+    assert_graceful(&out, "\"M1\" is not a built-in platform");
+    assert_graceful(&out, "see `pmevo-cli convert`");
+}
+
+#[test]
+fn mapping_names_with_reserved_characters_are_rejected() {
+    // `@` is the version separator of the `name@version` grammar; a
+    // registered name containing it would make `!reload TINY@2=...`
+    // ambiguous forever after.
+    let out = run(&["predict", "--mapping", "TINY@2=whatever.json"]);
+    assert_graceful(&out, "invalid mapping name \"TINY@2\"");
+    assert_graceful(&out, "must not contain '@'");
+
+    let out = run(&["predict", "--mapping", "BAD NAME=whatever.json"]);
+    assert_graceful(&out, "invalid mapping name \"BAD NAME\"");
+}
+
+#[test]
+fn malformed_store_budget_is_rejected_loudly() {
+    for bad in ["abc", "12q", "-5"] {
+        let out = run(&["predict", "--mapping", "TINY=whatever.json", "--store-budget", bad]);
+        assert_graceful(
+            &out,
+            &format!("error: --store-budget expects bytes (with an optional k/m/g suffix), got {bad:?}"),
+        );
+        assert_eq!(out.status.code(), Some(1), "bad --store-budget value exits 1");
+    }
+}
+
+#[test]
+fn infer_rejects_unknown_artifact_formats() {
+    let out = run(&["infer", "--platform", "TINY", "--format", "msgpack"]);
+    let stderr = stderr_of(&out);
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(stderr.contains("unknown --format msgpack; expected json or bin"), "{stderr}");
+    assert_eq!(out.status.code(), Some(2), "unknown format is a usage error");
+}
+
+#[test]
+fn convert_errors_are_reported_cleanly() {
+    // Missing --in/--out is a usage error.
+    let out = run(&["convert"]);
+    assert_corpus_error(&out, "convert needs --in <artifact> and --out <artifact>");
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = run(&["convert", "--in", "/definitely/not/here.bin", "--out", "x.json"]);
+    assert_corpus_error(&out, "cannot read /definitely/not/here.bin");
+    assert_eq!(out.status.code(), Some(1));
+
+    // JSON → binary without a platform: the binary format embeds the
+    // instruction-name table, which JSON artifacts do not carry.
+    let tiny = scratch("convert_tiny.json", &platforms::tiny().ground_truth().to_json_pretty());
+    let out = run(&["convert", "--in", tiny.to_str().unwrap(), "--out", "x.bin"]);
+    assert_corpus_error(&out, "converting a JSON artifact to binary needs --platform");
+    assert_eq!(out.status.code(), Some(2));
+
+    // A corrupt binary artifact decodes to a structured error naming the
+    // byte offset, not a panic.
+    let garbage = scratch("convert_garbage.bin", "PMEVOBINgarbage-not-a-real-artifact");
+    let out = run(&["convert", "--in", garbage.to_str().unwrap(), "--out", "x.json"]);
+    assert_corpus_error(&out, "cannot decode");
+    assert_corpus_error(&out, "at byte");
 }
 
 #[test]

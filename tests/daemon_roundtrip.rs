@@ -26,7 +26,7 @@ fn tiny_artifact(file: &str) -> PathBuf {
 
 fn start_daemon() -> (Server, SocketAddr, PathBuf) {
     let artifact = tiny_artifact("tiny.json");
-    let store = store_from_specs(&[format!("TINY={}", artifact.display())])
+    let store = store_from_specs(&[format!("TINY={}", artifact.display())], None)
         .expect("ground-truth artifact loads");
     let config = ServeConfig {
         workers: 2,
@@ -187,18 +187,19 @@ fn mappings_verb_lists_versions_and_query_counts() {
     let (server, addr, artifact) = start_daemon();
 
     let empty = via_daemon(addr, "!mappings\n");
-    assert_eq!(
-        empty.trim_end(),
-        "{\"line\":1,\"mappings\":[{\"mapping\":\"TINY@1\",\"queries\":0}]}",
-        "fresh daemon: one mapping, zero queries"
+    let record = empty.trim_end();
+    assert!(
+        record.starts_with("{\"line\":1,\"mappings\":[{\"mapping\":\"TINY@1\",\"queries\":0,")
+            && record.contains("\"resident\":true,\"bytes\":"),
+        "fresh daemon: one mapping, zero queries, resident: {record}"
     );
 
     let lines: String = (1..=7).map(|n| format!("add_r64_r64_r64 x{n}\n")).collect();
     let after = via_daemon(addr, &format!("{lines}!mappings\n"));
     let record = after.lines().last().expect("mappings record");
-    assert_eq!(
-        record, "{\"line\":8,\"mappings\":[{\"mapping\":\"TINY@1\",\"queries\":7}]}",
-        "the verb is a barrier: all 7 queries are counted before it answers"
+    assert!(
+        record.starts_with("{\"line\":8,\"mappings\":[{\"mapping\":\"TINY@1\",\"queries\":7,"),
+        "the verb is a barrier: all 7 queries are counted before it answers: {record}"
     );
 
     // After a hot reload both versions are listed; only the new one
@@ -209,11 +210,10 @@ fn mappings_verb_lists_versions_and_query_counts() {
         &format!("!reload TINY={}\nadd_r64_r64_r64 x2\n!mappings\n", v2.display()),
     );
     let record = reload.lines().last().expect("mappings record");
-    assert_eq!(
-        record,
-        "{\"line\":3,\"mappings\":[{\"mapping\":\"TINY@1\",\"queries\":7},\
-         {\"mapping\":\"TINY@2\",\"queries\":1}]}",
-        "both versions listed, traffic attributed per version"
+    assert!(
+        record.starts_with("{\"line\":3,\"mappings\":[{\"mapping\":\"TINY@1\",\"queries\":7,")
+            && record.contains("{\"mapping\":\"TINY@2\",\"queries\":1,"),
+        "both versions listed, traffic attributed per version: {record}"
     );
 
     server.stop();
