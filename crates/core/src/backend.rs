@@ -62,6 +62,18 @@ impl BackendStats {
             measurement_time: self.measurement_time - snapshot.measurement_time,
         }
     }
+
+    /// The component-wise sum of two deltas — how a resumed session
+    /// combines the accounting a checkpoint carried over from the
+    /// original process with the stats accumulated since the resume.
+    #[must_use]
+    pub fn plus(&self, other: &BackendStats) -> BackendStats {
+        BackendStats {
+            measurements_requested: self.measurements_requested + other.measurements_requested,
+            measurements_performed: self.measurements_performed + other.measurements_performed,
+            measurement_time: self.measurement_time + other.measurement_time,
+        }
+    }
 }
 
 /// A batch-first source of steady-state throughput measurements.

@@ -42,6 +42,7 @@
 pub mod allocation;
 pub mod backend;
 pub mod binfmt;
+pub mod checkpoint;
 mod bottleneck_impl;
 mod eval;
 mod experiment;
@@ -55,6 +56,11 @@ pub mod selection;
 pub mod suggest;
 
 pub use binfmt::{BinDecodeError, MappingArtifact, BIN_MAGIC, BIN_VERSION};
+
+pub use checkpoint::{
+    CheckpointError, CheckpointPhase, EvoCheckpoint, IslandCheckpoint, SessionCheckpoint,
+    CHECKPOINT_VERSION,
+};
 
 pub use backend::{
     measurements_from_json, measurements_to_json, measurements_to_json_pretty, BackendStats,

@@ -13,10 +13,9 @@
 //! return fittest individual
 //! ```
 
-use crate::fitness::{scalarize, FitnessEngine, Objectives};
+use crate::fitness::{FitnessEngine, Objectives};
 use pmevo_core::{InstId, MeasuredExperiment, ThreeLevelMapping, UopEntry};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Tunable parameters of the evolutionary algorithm.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,7 +76,7 @@ pub struct EvoResult {
 /// µop multiset of both parents is split randomly into the two children.
 /// A child that would receive no µop for an instruction steals one item
 /// back, keeping every individual well-formed.
-fn recombine<R: Rng + ?Sized>(
+pub(crate) fn recombine<R: Rng + ?Sized>(
     rng: &mut R,
     a: &ThreeLevelMapping,
     b: &ThreeLevelMapping,
@@ -121,7 +120,7 @@ fn recombine<R: Rng + ?Sized>(
 
 /// Optional mutation operator (ablation only): with probability
 /// `rate` per instruction, resample one µop's port set.
-fn mutate<R: Rng + ?Sized>(rng: &mut R, m: &mut ThreeLevelMapping, rate: f64) {
+pub(crate) fn mutate<R: Rng + ?Sized>(rng: &mut R, m: &mut ThreeLevelMapping, rate: f64) {
     if rate <= 0.0 {
         return;
     }
@@ -245,19 +244,22 @@ pub struct ResumableEvolution {
 }
 
 /// [`evolve`], but resumable: evolution starts from `initial` (topped up
-/// with random samples to the configured population size, truncated if
-/// larger), the final greedy local search can be skipped for
-/// intermediate rounds, and the final population is returned so a later
-/// segment — typically over a grown experiment set — can continue where
-/// this one stopped.
+/// with random samples to the configured population size), the final
+/// greedy local search can be skipped for intermediate rounds, and the
+/// final population is returned so a later segment — typically over a
+/// grown experiment set — can continue where this one stopped.
 ///
 /// With an empty `initial` and `local_search = true` this is exactly
-/// [`evolve`], bit for bit.
+/// [`evolve`], bit for bit. Since the island-model refactor this is a
+/// thin wrapper over [`crate::islands::evolve_islands`] with a single
+/// island, which reproduces the classic loop bit for bit.
 ///
 /// # Panics
 ///
-/// Panics if inputs are empty or inconsistent, or an `initial`
-/// individual does not match `num_insts`/`num_ports`.
+/// Panics if inputs are empty or inconsistent, an `initial` individual
+/// does not match `num_insts`/`num_ports`, or `initial` holds more
+/// individuals than `config.population_size` (an oversized warm start
+/// would silently discard search state — pass at most `p` individuals).
 pub fn evolve_resumable(
     num_insts: usize,
     num_ports: usize,
@@ -267,111 +269,22 @@ pub fn evolve_resumable(
     initial: Vec<ThreeLevelMapping>,
     local_search: bool,
 ) -> ResumableEvolution {
-    assert!(num_insts > 0, "empty instruction universe");
-    assert_eq!(indiv_tp.len(), num_insts, "throughput table size mismatch");
-    assert!(config.population_size >= 2, "population too small");
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    // One engine per run: experiments are compiled once and the worker
-    // threads live across every generation and the final local search.
-    let mut engine = FitnessEngine::new(experiments, config.num_threads);
-
-    let p = config.population_size;
-    let mut population = initial;
-    population.truncate(p);
-    for m in &population {
-        assert_eq!(m.num_insts(), num_insts, "initial individual universe mismatch");
-        assert_eq!(m.num_ports(), num_ports, "initial individual port-count mismatch");
-    }
-    while population.len() < p {
-        population.push(ThreeLevelMapping::sample_random(
-            &mut rng, num_insts, num_ports, indiv_tp,
-        ));
-    }
-    let (mut population, mut objectives) = engine.evaluate_batch_owned(population);
-
-    let mut history = Vec::new();
-    let mut best_so_far = f64::INFINITY;
-    let mut stall = 0u32;
-    let mut generations = 0u32;
-
-    for gen in 0..config.max_generations {
-        generations = gen + 1;
-        // Children: p new individuals from random parent pairs.
-        let mut children = Vec::with_capacity(p);
-        while children.len() < p {
-            let ia = rng.gen_range(0..p);
-            let ib = rng.gen_range(0..p);
-            let (mut c1, mut c2) = recombine(&mut rng, &population[ia], &population[ib]);
-            mutate(&mut rng, &mut c1, config.mutation_rate);
-            mutate(&mut rng, &mut c2, config.mutation_rate);
-            children.push(c1);
-            if children.len() < p {
-                children.push(c2);
-            }
-        }
-        let (children, child_objectives) = engine.evaluate_batch_owned(children);
-
-        // Pool selection: keep the p best by scalarized fitness.
-        population.extend(children);
-        objectives.extend(child_objectives);
-        let fitness = scalarize(&objectives);
-        let mut order: Vec<usize> = (0..population.len()).collect();
-        order.sort_by(|&x, &y| {
-            fitness[x]
-                .partial_cmp(&fitness[y])
-                .expect("fitness values are finite")
-        });
-        order.truncate(p);
-        let mut new_pop = Vec::with_capacity(p);
-        let mut new_obj = Vec::with_capacity(p);
-        for idx in order {
-            new_pop.push(population[idx].clone());
-            new_obj.push(objectives[idx]);
-        }
-        population = new_pop;
-        objectives = new_obj;
-
-        let gen_best = objectives
-            .iter()
-            .map(|o| o.error)
-            .fold(f64::INFINITY, f64::min);
-        history.push(gen_best);
-        if gen_best < best_so_far - config.convergence_tol {
-            best_so_far = gen_best;
-            stall = 0;
-        } else {
-            stall += 1;
-            if stall >= config.stall_generations {
-                break;
-            }
-        }
-    }
-
-    // Fittest individual by lexicographic (error, volume) — the final
-    // answer should put accuracy first.
-    let best_idx = (0..population.len())
-        .min_by(|&x, &y| {
-            (objectives[x].error, objectives[x].volume)
-                .partial_cmp(&(objectives[y].error, objectives[y].volume))
-                .expect("objectives are finite")
-        })
-        .expect("population is non-empty");
-    let mut best = population[best_idx].clone();
-    let best_objectives = if local_search {
-        hill_climb(&mut best, &mut engine, config.local_search_passes)
-    } else {
-        objectives[best_idx]
-    };
-
+    let out = crate::islands::evolve_islands(
+        num_insts,
+        num_ports,
+        experiments,
+        indiv_tp,
+        config,
+        &crate::islands::IslandConfig::default(),
+        crate::islands::IslandStart::Fresh(vec![initial]),
+        local_search,
+        None,
+    );
+    let island = out.islands.into_iter().next().expect("one island");
     ResumableEvolution {
-        result: EvoResult {
-            mapping: best,
-            objectives: best_objectives,
-            generations,
-            history,
-        },
-        population,
-        objectives,
+        result: out.result,
+        population: island.population,
+        objectives: island.objectives,
     }
 }
 
@@ -389,6 +302,8 @@ pub fn recombine_for_test<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use pmevo_core::{Experiment, PortSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn uop(count: u32, ports: &[usize]) -> UopEntry {
         UopEntry::new(count, PortSet::from_ports(ports))
@@ -554,6 +469,25 @@ mod tests {
         // A short initial population is topped up to size.
         let short = resume(first.population[..3].to_vec());
         assert_eq!(short.population.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial population larger than the configured population size")]
+    fn warm_start_rejects_an_oversized_population() {
+        let (_gt, measured, indiv) = toy_problem();
+        let config = EvoConfig {
+            population_size: 4,
+            max_generations: 1,
+            num_threads: 1,
+            seed: 2,
+            ..EvoConfig::default()
+        };
+        // 5 warm individuals into a population of 4: the old top-up path
+        // silently truncated these; now it must refuse.
+        let first = evolve_resumable(3, 3, &measured, &indiv, &config, Vec::new(), false);
+        let mut oversized = first.population.clone();
+        oversized.push(first.population[0].clone());
+        evolve_resumable(3, 3, &measured, &indiv, &config, oversized, false);
     }
 
     #[test]

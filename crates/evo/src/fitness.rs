@@ -14,6 +14,13 @@
 //! evolutionary run. [`average_relative_error`] remains as the naive
 //! reference implementation; the engine returns bit-identical values
 //! (enforced by the property tests in `tests/proptest_fitness.rs`).
+//!
+//! Batch results are returned in submission order and are a pure
+//! function of the inputs, independent of worker count and scheduling —
+//! which is what lets the island model ([`crate::islands`]) concatenate
+//! every island's children into one merged batch per generation: the
+//! engine is the shared pool, and the per-island results are recovered
+//! by slicing the batch, bit-identically for any worker count.
 
 use pmevo_core::{
     CompiledExperiments, InstId, MeasuredExperiment, ThreeLevelMapping, ThroughputSolver,

@@ -27,6 +27,7 @@ pub mod congruence;
 pub mod evolution;
 pub mod expgen;
 pub mod fitness;
+pub mod islands;
 pub mod pipeline;
 pub mod selection;
 pub mod validate;
@@ -36,6 +37,13 @@ pub use congruence::{throughput_close, CongruencePartition};
 pub use evolution::{evolve, evolve_resumable, EvoConfig, EvoResult, ResumableEvolution};
 pub use expgen::{CandidateStream, ExperimentGenerator};
 pub use fitness::{average_relative_error, scalarize, ErrorCache, FitnessEngine, Objectives};
-pub use pipeline::{run, PipelineConfig, PipelineResult};
-pub use selection::{run_adaptive, AdaptiveOutcome, AdaptiveTuning};
+pub use islands::{
+    evolve_islands, island_seed, EvoState, Island, IslandConfig, IslandControl, IslandStart,
+    IslandsEvolution,
+};
+pub use pipeline::{run, CheckpointConfig, PipelineConfig, PipelineResult};
+pub use selection::{
+    run_adaptive, run_adaptive_with, AdaptiveContext, AdaptiveOutcome, AdaptiveResume,
+    AdaptiveTuning, CheckpointEvent, CheckpointHook,
+};
 pub use validate::{validate, ValidationReport};

@@ -14,14 +14,20 @@
 //! billed again.
 
 use crate::congruence::{throughput_close, CongruencePartition};
-use crate::evolution::{evolve, EvoConfig, EvoResult};
+use crate::evolution::{EvoConfig, EvoResult};
 use crate::expgen::ExperimentGenerator;
-use crate::selection::{run_adaptive, AdaptiveTuning};
+use crate::islands::{evolve_islands, EvoState, IslandConfig, IslandControl, IslandObserver, IslandStart};
+use crate::selection::{
+    run_adaptive_with, AdaptiveContext, AdaptiveResume, AdaptiveTuning, CheckpointEvent,
+    CheckpointHook,
+};
+use pmevo_core::checkpoint::{CheckpointPhase, SessionCheckpoint};
 use pmevo_core::{
     BackendStats, Experiment, InstId, MeasuredExperiment, MeasurementBackend,
     MeasurementBudget, RoundStats, SelectionPolicy, ThreeLevelMapping,
 };
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Configuration of a full pipeline run.
@@ -51,6 +57,11 @@ pub struct PipelineConfig {
     pub adaptive: AdaptiveTuning,
     /// Parameters of the evolutionary algorithm.
     pub evo: EvoConfig,
+    /// Island topology for every evolution run (one island by default —
+    /// the classic loop, bit for bit).
+    pub islands: IslandConfig,
+    /// Checkpoint/resume configuration; `None` disables both.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -63,7 +74,133 @@ impl Default for PipelineConfig {
             budget: MeasurementBudget::UNLIMITED,
             adaptive: AdaptiveTuning::default(),
             evo: EvoConfig::default(),
+            islands: IslandConfig::default(),
+            checkpoint: None,
         }
+    }
+}
+
+/// Checkpoint/resume configuration of a pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Where the checkpoint artifact is written (atomically: a `.tmp`
+    /// sibling is renamed into place on every write).
+    pub path: PathBuf,
+    /// Write every this many evolution generations; phase boundaries
+    /// (pre-polish) are always written. Values `<= 1` write every
+    /// generation.
+    pub every: u32,
+    /// A previously written checkpoint to continue from; `None` starts
+    /// fresh. The resumed run re-measures nothing and is bit-identical
+    /// to the uninterrupted one (up to wall-clock timings).
+    pub resume_from: Option<Box<SessionCheckpoint>>,
+    /// Stop the run right after this many checkpoint writes — a
+    /// deterministic stand-in for `kill -9` used by the resume tests and
+    /// `pmevo-cli infer --halt-after-checkpoints`.
+    pub halt_after: Option<u32>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `path` every `every` generations, no resume, no
+    /// halt.
+    pub fn new(path: impl Into<PathBuf>, every: u32) -> Self {
+        CheckpointConfig {
+            path: path.into(),
+            every,
+            resume_from: None,
+            halt_after: None,
+        }
+    }
+}
+
+/// The pipeline's [`CheckpointHook`]: fills a header template with each
+/// event's dynamic state and writes the artifact on the configured
+/// cadence.
+struct CheckpointWriter {
+    path: PathBuf,
+    every: u32,
+    halt_after: Option<u32>,
+    written: u32,
+    generations_seen: u32,
+    template: SessionCheckpoint,
+}
+
+impl CheckpointWriter {
+    fn new(cfg: &CheckpointConfig, template: SessionCheckpoint) -> Self {
+        CheckpointWriter {
+            path: cfg.path.clone(),
+            every: cfg.every.max(1),
+            halt_after: cfg.halt_after,
+            written: 0,
+            generations_seen: 0,
+            template,
+        }
+    }
+}
+
+impl CheckpointHook for CheckpointWriter {
+    fn on_state(&mut self, event: &CheckpointEvent<'_>) -> IslandControl {
+        let due = match event.phase {
+            CheckpointPhase::PrePolish => true,
+            _ => {
+                self.generations_seen += 1;
+                self.generations_seen.is_multiple_of(self.every)
+            }
+        };
+        if !due {
+            return IslandControl::Continue;
+        }
+        let mut cp = self.template.clone();
+        cp.used = event.used;
+        cp.measured = event.measured.to_vec();
+        cp.rounds = event.rounds.to_vec();
+        cp.round_mappings = event.round_mappings.to_vec();
+        cp.pool = event.pool.to_vec();
+        cp.stream_taken = event.stream_taken;
+        cp.phase = event.phase;
+        cp.evo = event.evo.map(EvoState::to_checkpoint);
+        if let Err(e) = cp.save(&self.path) {
+            panic!("cannot write checkpoint: {e}");
+        }
+        self.written += 1;
+        if self.halt_after.is_some_and(|n| self.written >= n) {
+            return IslandControl::Halt;
+        }
+        IslandControl::Continue
+    }
+}
+
+/// The header template of every checkpoint this run writes: the static
+/// configuration plus the full-universe singleton throughputs and
+/// congruence classes (`rep_of[i]` = representative of instruction `i`),
+/// from which a resume reconstructs the partition without re-measuring.
+fn checkpoint_template(
+    num_insts: usize,
+    num_ports: usize,
+    config: &PipelineConfig,
+    indiv_tp: &[f64],
+    partition: &CongruencePartition,
+) -> SessionCheckpoint {
+    SessionCheckpoint {
+        seed: config.evo.seed,
+        num_insts,
+        num_ports,
+        islands: config.islands.count,
+        population_size: config.evo.population_size as u64,
+        selection: config.selection,
+        budget: config.budget,
+        used: BackendStats::default(),
+        indiv_tp: indiv_tp.to_vec(),
+        rep_of: (0..num_insts as u32)
+            .map(|i| partition.representative(InstId(i)).0)
+            .collect(),
+        measured: Vec::new(),
+        rounds: Vec::new(),
+        round_mappings: Vec::new(),
+        pool: Vec::new(),
+        stream_taken: 0,
+        phase: CheckpointPhase::OneShot,
+        evo: None,
     }
 }
 
@@ -157,6 +294,13 @@ pub fn run(
     config: &PipelineConfig,
 ) -> PipelineResult {
     assert!(num_insts > 0, "empty instruction universe");
+    if let Some(snapshot) = config
+        .checkpoint
+        .as_ref()
+        .and_then(|c| c.resume_from.as_deref())
+    {
+        return resume_run(num_insts, num_ports, backend, config, snapshot);
+    }
     let universe: Vec<InstId> = (0..num_insts as u32).map(InstId).collect();
     let generator = ExperimentGenerator::new(universe.clone());
     let run_start: BackendStats = backend.stats();
@@ -228,8 +372,55 @@ pub fn run(
         })
         .collect();
 
-    // Stage 4: evolutionary optimization on the representative universe.
-    let evo_result = evolve(reps.len(), num_ports, &rep_measured, &rep_indiv, &config.evo);
+    // Stage 4: evolutionary optimization on the representative universe
+    // (one island is the paper's classic loop, bit for bit).
+    let mut writer = config.checkpoint.as_ref().map(|cfg| {
+        CheckpointWriter::new(
+            cfg,
+            checkpoint_template(num_insts, num_ports, config, &indiv_tp, &partition),
+        )
+    });
+    // One-shot checkpoints carry the whole corpus and its single round
+    // (training error still unknown), so a resume skips all measurement.
+    let checkpoint_rounds = vec![RoundStats::from_delta(
+        0,
+        &bench_stats,
+        bench_stats.measurements_performed,
+        f64::INFINITY,
+    )];
+    let evo_result = {
+        let mut observe;
+        let observer: Option<IslandObserver<'_>> = match writer.as_mut() {
+            Some(w) => {
+                observe = |state: &EvoState| {
+                    w.on_state(&CheckpointEvent {
+                        phase: CheckpointPhase::OneShot,
+                        evo: Some(state),
+                        measured: &measured,
+                        rounds: &checkpoint_rounds,
+                        round_mappings: &[],
+                        pool: &[],
+                        stream_taken: 0,
+                        used: bench_stats,
+                    })
+                };
+                Some(&mut observe)
+            }
+            None => None,
+        };
+        evolve_islands(
+            reps.len(),
+            num_ports,
+            &rep_measured,
+            &rep_indiv,
+            &config.evo,
+            &config.islands,
+            IslandStart::Fresh(Vec::new()),
+            true,
+            observer,
+        )
+        .result
+    };
 
     // Expand the representative mapping back to the full universe.
     let mapping = expand_mapping(&universe, &partition, &rep_index, &evo_result.mapping, num_ports);
@@ -369,7 +560,19 @@ fn run_adaptive_pipeline(
         .filter(|me| me.experiment.iter().all(|(i, _)| rep_index.contains_key(&i)))
         .collect();
 
-    let outcome = run_adaptive(
+    let mut writer = config.checkpoint.as_ref().map(|cfg| {
+        CheckpointWriter::new(
+            cfg,
+            checkpoint_template(universe.len(), num_ports, config, indiv_tp, &partition),
+        )
+    });
+    let ctx = AdaptiveContext {
+        islands: config.islands,
+        hook: writer.as_mut().map(|w| w as &mut dyn CheckpointHook),
+        resume: None,
+        prior: BackendStats::default(),
+    };
+    let outcome = run_adaptive_with(
         &reps,
         num_ports,
         &rep_indiv,
@@ -380,6 +583,7 @@ fn run_adaptive_pipeline(
         &config.adaptive,
         &config.evo,
         &run_start,
+        ctx,
     );
 
     let bench_stats = backend.stats().since(&run_start);
@@ -395,6 +599,202 @@ fn run_adaptive_pipeline(
         benchmarking_time: bench_stats.measurement_time,
         // Measurement and inference interleave here, so inference time
         // is everything that was not spent measuring.
+        inference_time: wall_start
+            .elapsed()
+            .saturating_sub(bench_stats.measurement_time),
+        measurements_performed: bench_stats.measurements_performed,
+        congruent_fraction: partition.merged_fraction(),
+        num_classes: partition.num_classes(),
+        num_experiments: outcome.measured.len(),
+        rounds: outcome.rounds,
+        round_mappings,
+        evo: outcome.evo,
+    }
+}
+
+/// Continues a checkpointed run. Nothing is re-measured: the corpus,
+/// singleton throughputs and congruence classes all come from the
+/// artifact, and budget accounting starts from the checkpoint's
+/// [`SessionCheckpoint::used`]. The resumed run's result is
+/// bit-identical to the uninterrupted run's (up to wall-clock timings).
+///
+/// # Panics
+///
+/// Panics when the checkpoint's header disagrees with the current
+/// configuration (universe size, port count, seed, islands, population
+/// size, selection policy, or budget).
+fn resume_run(
+    num_insts: usize,
+    num_ports: usize,
+    backend: &mut dyn MeasurementBackend,
+    config: &PipelineConfig,
+    snapshot: &SessionCheckpoint,
+) -> PipelineResult {
+    assert_eq!(snapshot.num_insts, num_insts, "checkpoint instruction-universe mismatch");
+    assert_eq!(snapshot.num_ports, num_ports, "checkpoint port-count mismatch");
+    assert_eq!(snapshot.seed, config.evo.seed, "checkpoint seed mismatch");
+    assert_eq!(snapshot.islands, config.islands.count, "checkpoint island-count mismatch");
+    assert_eq!(
+        snapshot.population_size as usize, config.evo.population_size,
+        "checkpoint population-size mismatch"
+    );
+    assert_eq!(snapshot.selection, config.selection, "checkpoint selection-policy mismatch");
+    assert_eq!(snapshot.budget, config.budget, "checkpoint budget mismatch");
+
+    let universe: Vec<InstId> = (0..num_insts as u32).map(InstId).collect();
+    let run_start: BackendStats = backend.stats();
+    let wall_start = Instant::now();
+    let prior = snapshot.used;
+
+    // Reconstruct the congruence partition from the stored class map.
+    let repr: BTreeMap<InstId, InstId> = snapshot
+        .rep_of
+        .iter()
+        .enumerate()
+        .filter(|&(i, &r)| r != i as u32)
+        .map(|(i, &r)| (InstId(i as u32), InstId(r)))
+        .collect();
+    let partition = CongruencePartition::from_representatives(&universe, repr);
+    let reps = partition.representatives().to_vec();
+    let rep_index: BTreeMap<InstId, u32> = reps
+        .iter()
+        .enumerate()
+        .map(|(k, &id)| (id, k as u32))
+        .collect();
+    let rep_indiv: Vec<f64> = reps
+        .iter()
+        .map(|&id| snapshot.indiv_tp[id.index()])
+        .collect();
+
+    // Keep checkpointing the continued run through the same header.
+    let mut writer = config.checkpoint.as_ref().map(|cfg| {
+        let mut template = snapshot.clone();
+        template.used = BackendStats::default();
+        template.measured = Vec::new();
+        template.rounds = Vec::new();
+        template.round_mappings = Vec::new();
+        template.pool = Vec::new();
+        template.stream_taken = 0;
+        template.phase = CheckpointPhase::OneShot;
+        template.evo = None;
+        CheckpointWriter::new(cfg, template)
+    });
+
+    if snapshot.phase == CheckpointPhase::OneShot {
+        // --- One-shot resume: the corpus is fully measured; restart the
+        // evolution loop exactly where the checkpoint left it. ---
+        let num_experiments = snapshot.measured.len();
+        let rep_measured: Vec<MeasuredExperiment> = snapshot
+            .measured
+            .iter()
+            .filter(|me| me.experiment.iter().all(|(i, _)| rep_index.contains_key(&i)))
+            .map(|me| {
+                let exp = me.experiment.map_insts(|i| InstId(rep_index[&i]));
+                MeasuredExperiment::new(exp, me.throughput)
+            })
+            .collect();
+        let state = EvoState::from_checkpoint(
+            snapshot
+                .evo
+                .as_ref()
+                .expect("a one-shot checkpoint carries evolution state"),
+        );
+        let evo_result = {
+            let mut observe;
+            let observer: Option<IslandObserver<'_>> = match writer.as_mut() {
+                Some(w) => {
+                    observe = |state: &EvoState| {
+                        w.on_state(&CheckpointEvent {
+                            phase: CheckpointPhase::OneShot,
+                            evo: Some(state),
+                            measured: &snapshot.measured,
+                            rounds: &snapshot.rounds,
+                            round_mappings: &[],
+                            pool: &[],
+                            stream_taken: 0,
+                            used: prior,
+                        })
+                    };
+                    Some(&mut observe)
+                }
+                None => None,
+            };
+            evolve_islands(
+                reps.len(),
+                num_ports,
+                &rep_measured,
+                &rep_indiv,
+                &config.evo,
+                &config.islands,
+                IslandStart::Resume(state),
+                true,
+                observer,
+            )
+            .result
+        };
+        let bench_stats = prior.plus(&backend.stats().since(&run_start));
+        let mapping =
+            expand_mapping(&universe, &partition, &rep_index, &evo_result.mapping, num_ports);
+        let rounds = vec![RoundStats::from_delta(
+            0,
+            &bench_stats,
+            bench_stats.measurements_performed,
+            evo_result.objectives.error,
+        )];
+        return PipelineResult {
+            round_mappings: vec![mapping.clone()],
+            mapping,
+            benchmarking_time: bench_stats.measurement_time,
+            inference_time: wall_start.elapsed(),
+            measurements_performed: bench_stats.measurements_performed,
+            congruent_fraction: partition.merged_fraction(),
+            num_classes: partition.num_classes(),
+            num_experiments,
+            rounds,
+            evo: evo_result,
+        };
+    }
+
+    // --- Adaptive resume: re-enter the round loop mid-flight. ---
+    let resume = AdaptiveResume {
+        phase: snapshot.phase,
+        evo: snapshot.evo.clone(),
+        pool: snapshot.pool.clone(),
+        stream_taken: snapshot.stream_taken,
+        rounds: snapshot.rounds.clone(),
+        round_mappings: snapshot.round_mappings.clone(),
+    };
+    let ctx = AdaptiveContext {
+        islands: config.islands,
+        hook: writer.as_mut().map(|w| w as &mut dyn CheckpointHook),
+        resume: Some(resume),
+        prior,
+    };
+    let outcome = run_adaptive_with(
+        &reps,
+        num_ports,
+        &rep_indiv,
+        snapshot.measured.clone(),
+        backend,
+        config.selection,
+        &config.budget,
+        &config.adaptive,
+        &config.evo,
+        &run_start,
+        ctx,
+    );
+
+    let bench_stats = prior.plus(&backend.stats().since(&run_start));
+    let mapping = expand_mapping(&universe, &partition, &rep_index, &outcome.evo.mapping, num_ports);
+    let round_mappings: Vec<ThreeLevelMapping> = outcome
+        .round_mappings
+        .iter()
+        .map(|dense| expand_mapping(&universe, &partition, &rep_index, dense, num_ports))
+        .collect();
+
+    PipelineResult {
+        mapping,
+        benchmarking_time: bench_stats.measurement_time,
         inference_time: wall_start
             .elapsed()
             .saturating_sub(bench_stats.measurement_time),

@@ -12,7 +12,7 @@
 //!
 //! 1. **evolve** a few generations on everything measured so far
 //!    (warm-started from the previous round's population,
-//!    [`evolve_resumable`]);
+//!    [`evolve_resumable`](crate::evolution::evolve_resumable));
 //! 2. **score** a bounded pool of unmeasured candidates — pulled lazily
 //!    from [`ExperimentGenerator::candidates`] — by the variance of
 //!    their predicted throughput across the fittest population members
@@ -65,9 +65,13 @@
 //! assert_eq!(result.round_mappings.len(), result.rounds.len());
 //! ```
 
-use crate::evolution::{evolve_resumable, EvoConfig, EvoResult};
+use crate::evolution::{EvoConfig, EvoResult};
 use crate::expgen::ExperimentGenerator;
 use crate::fitness::Objectives;
+use crate::islands::{
+    evolve_islands, EvoState, Island, IslandConfig, IslandControl, IslandObserver, IslandStart,
+};
+use pmevo_core::checkpoint::{CheckpointPhase, EvoCheckpoint};
 use pmevo_core::{
     BackendStats, CompiledExperiments, Experiment, InstId, MeasuredExperiment,
     MeasurementBackend, MeasurementBudget, RoundStats, SelectionPolicy, ThreeLevelMapping,
@@ -124,6 +128,88 @@ pub struct AdaptiveOutcome {
     /// Best dense mapping at the end of each round, parallel to
     /// [`rounds`](Self::rounds).
     pub round_mappings: Vec<ThreeLevelMapping>,
+    /// Whether a [`CheckpointHook`] halted the run before it finished.
+    /// A halted outcome is valid but provisional: the last round's
+    /// mapping is the best individual at halt time, no polish ran, and
+    /// the run continues from the written checkpoint, not from this
+    /// value.
+    pub halted: bool,
+}
+
+/// A checkpointable boundary of the round-based loop: everything a
+/// [`CheckpointHook`] needs to persist a complete
+/// [`pmevo_core::checkpoint::SessionCheckpoint`].
+///
+/// Events fire after every evolution generation of every round (phase
+/// [`CheckpointPhase::Round`]) and once before the final polish (phase
+/// [`CheckpointPhase::PrePolish`], with `evo` holding the final round
+/// populations the polish warm-starts from).
+#[derive(Debug)]
+pub struct CheckpointEvent<'a> {
+    /// Where in the loop the event fires.
+    pub phase: CheckpointPhase,
+    /// The live evolution state at the boundary.
+    pub evo: Option<&'a EvoState>,
+    /// Every measured experiment so far, original ids, measurement order.
+    pub measured: &'a [MeasuredExperiment],
+    /// Per-round accounting so far (the in-flight round's training error
+    /// is still `+inf`).
+    pub rounds: &'a [RoundStats],
+    /// Best mapping per completed round.
+    pub round_mappings: &'a [ThreeLevelMapping],
+    /// The unmeasured candidate pool.
+    pub pool: &'a [Experiment],
+    /// Candidates the streaming generator has yielded so far.
+    pub stream_taken: u64,
+    /// Budget accounting at the boundary (prior process + this one).
+    pub used: BackendStats,
+}
+
+/// Observer of [`CheckpointEvent`]s — the seam the pipeline's checkpoint
+/// writer plugs into. Returning [`IslandControl::Halt`] stops the run at
+/// the boundary, which is how tests and `--halt-after-checkpoints`
+/// simulate a process kill.
+pub trait CheckpointHook {
+    /// Called at every checkpointable boundary.
+    fn on_state(&mut self, event: &CheckpointEvent<'_>) -> IslandControl;
+}
+
+/// Mid-run state to continue from, decoded from a checkpoint artifact.
+/// The restored run is bit-identical to the uninterrupted one.
+#[derive(Debug, Clone)]
+pub struct AdaptiveResume {
+    /// Where the checkpoint was taken.
+    pub phase: CheckpointPhase,
+    /// The evolution state at the boundary (required for
+    /// [`CheckpointPhase::Round`] and [`CheckpointPhase::PrePolish`]).
+    pub evo: Option<EvoCheckpoint>,
+    /// The candidate pool as checkpointed.
+    pub pool: Vec<Experiment>,
+    /// Stream cursor: candidates the generator had yielded.
+    pub stream_taken: u64,
+    /// Per-round accounting as checkpointed.
+    pub rounds: Vec<RoundStats>,
+    /// Best mapping per completed round as checkpointed.
+    pub round_mappings: Vec<ThreeLevelMapping>,
+}
+
+/// Extensions threaded through [`run_adaptive_with`]: island topology,
+/// the checkpoint observer, resume state, and cross-process budget
+/// accounting. [`run_adaptive`] uses the default (one island, no hook).
+#[derive(Default)]
+pub struct AdaptiveContext<'a> {
+    /// Island topology for every evolution segment.
+    pub islands: IslandConfig,
+    /// Checkpoint observer; `None` disables checkpointing.
+    pub hook: Option<&'a mut dyn CheckpointHook>,
+    /// Mid-run state to continue from; `None` starts fresh. On resume,
+    /// pass the checkpoint's measured corpus as `seed_measured` — the
+    /// loop re-measures nothing.
+    pub resume: Option<AdaptiveResume>,
+    /// Backend accounting carried over from the checkpointing process;
+    /// budget decisions use `prior + stats-since-run_start`, so a
+    /// resumed run spends exactly the budget the original had left.
+    pub prior: BackendStats,
 }
 
 /// Derives the per-segment evolution seed: rounds must not replay the
@@ -163,12 +249,64 @@ pub fn run_adaptive(
     evo_config: &EvoConfig,
     run_start: &BackendStats,
 ) -> AdaptiveOutcome {
+    run_adaptive_with(
+        reps,
+        num_ports,
+        rep_indiv,
+        seed_measured,
+        backend,
+        policy,
+        budget,
+        tuning,
+        evo_config,
+        run_start,
+        AdaptiveContext::default(),
+    )
+}
+
+/// [`run_adaptive`] with an explicit [`AdaptiveContext`]: island
+/// topology, checkpoint observation, and resume-from-checkpoint. With
+/// the default context this is exactly [`run_adaptive`], bit for bit.
+///
+/// On resume, pass the checkpoint's measured corpus as `seed_measured`
+/// and the backend-stats snapshot of the *new* process as `run_start`;
+/// the checkpoint's `used` accounting goes into
+/// [`AdaptiveContext::prior`]. Nothing is re-measured, so the resumed
+/// run's budget decisions and final outcome are bit-identical to the
+/// uninterrupted run's.
+///
+/// # Panics
+///
+/// As [`run_adaptive`]; additionally if the resume state is internally
+/// inconsistent (wrong phase, missing evolution state, stream cursor
+/// beyond the candidate stream).
+#[allow(clippy::too_many_arguments)]
+pub fn run_adaptive_with(
+    reps: &[InstId],
+    num_ports: usize,
+    rep_indiv: &[f64],
+    seed_measured: Vec<MeasuredExperiment>,
+    backend: &mut dyn MeasurementBackend,
+    policy: SelectionPolicy,
+    budget: &MeasurementBudget,
+    tuning: &AdaptiveTuning,
+    evo_config: &EvoConfig,
+    run_start: &BackendStats,
+    ctx: AdaptiveContext<'_>,
+) -> AdaptiveOutcome {
     let top_k = policy
         .top_k()
         .expect("run_adaptive needs a round-based selection policy");
     assert!(top_k >= 1, "selection policy must submit at least one experiment per round");
     assert_eq!(rep_indiv.len(), reps.len(), "individual-throughput table size mismatch");
     assert!(!seed_measured.is_empty(), "empty seed corpus");
+
+    let AdaptiveContext {
+        islands: islands_cfg,
+        mut hook,
+        resume,
+        prior,
+    } = ctx;
 
     let rep_index: BTreeMap<InstId, u32> = reps
         .iter()
@@ -189,21 +327,72 @@ pub fn run_adaptive(
     let generator = ExperimentGenerator::new(reps.to_vec());
     let mut stream = generator.candidates(rep_indiv);
     let pool_target = top_k.max(1) * tuning.pool_factor.max(1);
-    let mut pool: Vec<Experiment> = Vec::with_capacity(pool_target);
 
-    let seed_stats = backend.stats().since(run_start);
-    // Training error is overwritten after the first evolve segment.
-    let mut rounds = vec![RoundStats::from_delta(
-        0,
-        &seed_stats,
-        seed_stats.measurements_performed,
-        f64::INFINITY,
-    )];
-    let mut round_mappings: Vec<ThreeLevelMapping> = Vec::new();
-    let mut population: Vec<ThreeLevelMapping> = Vec::new();
+    let mut pool: Vec<Experiment>;
+    let mut stream_taken: u64;
+    let mut rounds: Vec<RoundStats>;
+    let mut round_mappings: Vec<ThreeLevelMapping>;
+    // Per-island state carried between segments: populations warm-start
+    // the next segment (or the polish).
+    let mut islands_state: Vec<Island> = Vec::new();
+    // A mid-round checkpoint resumes the in-flight evolve segment
+    // exactly; later segments start fresh from the carried populations.
+    let mut pending_resume: Option<EvoState> = None;
+    let mut skip_rounds = false;
+
+    match resume {
+        None => {
+            pool = Vec::with_capacity(pool_target);
+            stream_taken = 0;
+            let seed_stats = backend.stats().since(run_start);
+            // Training error is overwritten after the first evolve segment.
+            rounds = vec![RoundStats::from_delta(
+                0,
+                &seed_stats,
+                seed_stats.measurements_performed,
+                f64::INFINITY,
+            )];
+            round_mappings = Vec::new();
+        }
+        Some(r) => {
+            pool = r.pool;
+            stream_taken = r.stream_taken;
+            for _ in 0..stream_taken {
+                stream
+                    .next()
+                    .expect("checkpointed stream cursor exceeds the candidate stream");
+            }
+            rounds = r.rounds;
+            assert!(!rounds.is_empty(), "resumed round stats must not be empty");
+            round_mappings = r.round_mappings;
+            match r.phase {
+                CheckpointPhase::Round(_) => {
+                    let cp = r.evo.expect("a mid-round checkpoint carries evolution state");
+                    pending_resume = Some(EvoState::from_checkpoint(&cp));
+                }
+                CheckpointPhase::PrePolish => {
+                    let cp = r
+                        .evo
+                        .expect("a pre-polish checkpoint carries the final populations");
+                    islands_state = EvoState::from_checkpoint(&cp).islands;
+                    skip_rounds = true;
+                }
+                CheckpointPhase::OneShot => {
+                    panic!("one-shot checkpoints resume through the pipeline, not run_adaptive")
+                }
+            }
+        }
+    }
+
     let mut solver = ThroughputSolver::new();
+    let mut halted = false;
 
+    // `skip_rounds` is fixed before the loop (a pre-polish resume has no
+    // rounds left); each iteration exits via the `break`s below.
     loop {
+        if skip_rounds {
+            break;
+        }
         // --- Evolve a short segment on everything measured so far. ---
         let round = rounds.len() as u32 - 1;
         let segment_config = EvoConfig {
@@ -211,29 +400,78 @@ pub fn run_adaptive(
             seed: segment_seed(evo_config.seed, round),
             ..evo_config.clone()
         };
-        let segment = evolve_resumable(
-            reps.len(),
-            num_ports,
-            &dense_measured,
-            rep_indiv,
-            &segment_config,
-            std::mem::take(&mut population),
-            false,
-        );
+        let start = match pending_resume.take() {
+            Some(state) => IslandStart::Resume(state),
+            None => IslandStart::Fresh(
+                std::mem::take(&mut islands_state)
+                    .into_iter()
+                    .map(|isl| isl.population)
+                    .collect(),
+            ),
+        };
+        // Budget accounting is frozen for the segment: evolution never
+        // measures, so a snapshot taken here is exact for every
+        // checkpoint event inside the segment.
+        let used_now = prior.plus(&backend.stats().since(run_start));
+        let segment = {
+            let mut obs_fn;
+            let observer: Option<IslandObserver<'_>> = match hook.as_mut() {
+                Some(h) => {
+                    let (measured_ref, rounds_ref, mappings_ref, pool_ref) =
+                        (&measured, &rounds, &round_mappings, &pool);
+                    obs_fn = move |state: &EvoState| {
+                        h.on_state(&CheckpointEvent {
+                            phase: CheckpointPhase::Round(round),
+                            evo: Some(state),
+                            measured: measured_ref,
+                            rounds: rounds_ref,
+                            round_mappings: mappings_ref,
+                            pool: pool_ref,
+                            stream_taken,
+                            used: used_now,
+                        })
+                    };
+                    Some(&mut obs_fn)
+                }
+                None => None,
+            };
+            evolve_islands(
+                reps.len(),
+                num_ports,
+                &dense_measured,
+                rep_indiv,
+                &segment_config,
+                &islands_cfg,
+                start,
+                false,
+                observer,
+            )
+        };
         let last = rounds.len() - 1;
         rounds[last].training_error = segment.result.objectives.error;
         round_mappings.push(segment.result.mapping.clone());
-        population = segment.population;
-        let objectives = segment.objectives;
+        islands_state = segment.islands;
+        if segment.halted {
+            // Simulated kill: return a valid provisional outcome; the
+            // run continues from the written checkpoint.
+            return AdaptiveOutcome {
+                evo: segment.result,
+                measured,
+                rounds,
+                round_mappings,
+                halted: true,
+            };
+        }
 
         // --- Stop when the budget, the round cap or the candidate
         //     stream is spent. ---
-        let used = backend.stats().since(run_start);
+        let used = prior.plus(&backend.stats().since(run_start));
         if budget.is_exhausted(&used) || round >= tuning.max_rounds {
             break;
         }
         while pool.len() < pool_target {
             let Some(candidate) = stream.next() else { break };
+            stream_taken += 1;
             if !measured_set.contains(&candidate) {
                 pool.push(candidate);
             }
@@ -244,14 +482,26 @@ pub fn run_adaptive(
 
         // --- Score the pool and pick the round's submissions. ---
         let scores = match policy {
-            SelectionPolicy::Disagreement { .. } => disagreement_scores(
-                &pool,
-                &to_dense,
-                &population,
-                &objectives,
-                tuning.ensemble,
-                &mut solver,
-            ),
+            SelectionPolicy::Disagreement { .. } => {
+                // Concatenated island order: for one island this is the
+                // classic population order, bit for bit.
+                let flat_pop: Vec<&ThreeLevelMapping> = islands_state
+                    .iter()
+                    .flat_map(|isl| isl.population.iter())
+                    .collect();
+                let flat_obj: Vec<Objectives> = islands_state
+                    .iter()
+                    .flat_map(|isl| isl.objectives.iter().copied())
+                    .collect();
+                disagreement_scores(
+                    &pool,
+                    &to_dense,
+                    &flat_pop,
+                    &flat_obj,
+                    tuning.ensemble,
+                    &mut solver,
+                )
+            }
             SelectionPolicy::Uniform { .. } => {
                 let mut rng = StdRng::seed_from_u64(segment_seed(evo_config.seed, round) ^ 0x5E1E_C7ED);
                 pool.iter().map(|_| rng.gen::<f64>()).collect()
@@ -285,7 +535,9 @@ pub fn run_adaptive(
         let before = backend.stats();
         let throughputs = backend.measure_batch_checked(&selected);
         let delta = backend.stats().since(&before);
-        let cumulative = backend.stats().since(run_start).measurements_performed;
+        let cumulative = prior
+            .plus(&backend.stats().since(run_start))
+            .measurements_performed;
         for (e, t) in selected.into_iter().zip(throughputs) {
             measured_set.insert(e.clone());
             dense_measured.push(MeasuredExperiment::new(to_dense(&e), t));
@@ -295,31 +547,91 @@ pub fn run_adaptive(
         rounds.push(RoundStats::from_delta(round + 1, &delta, cumulative, f64::INFINITY));
     }
 
+    // --- Pre-polish checkpoint boundary: the populations the polish
+    //     warm-starts from are the last state worth persisting (the
+    //     polish itself re-runs deterministically on resume). ---
+    if let Some(h) = hook.as_mut() {
+        let state = EvoState {
+            islands: islands_state.clone(),
+            generations: 0,
+            history: Vec::new(),
+            best_so_far: f64::INFINITY,
+            stall: 0,
+        };
+        let used_now = prior.plus(&backend.stats().since(run_start));
+        let control = h.on_state(&CheckpointEvent {
+            phase: CheckpointPhase::PrePolish,
+            evo: Some(&state),
+            measured: &measured,
+            rounds: &rounds,
+            round_mappings: &round_mappings,
+            pool: &pool,
+            stream_taken,
+            used: used_now,
+        });
+        if control == IslandControl::Halt {
+            halted = true;
+        }
+    }
+    if halted {
+        let mapping = round_mappings
+            .last()
+            .expect("at least one round evolved")
+            .clone();
+        let objectives = Objectives {
+            error: rounds[rounds.len() - 1].training_error,
+            volume: mapping.volume(),
+        };
+        return AdaptiveOutcome {
+            evo: EvoResult {
+                mapping,
+                objectives,
+                generations: 0,
+                history: Vec::new(),
+            },
+            measured,
+            rounds,
+            round_mappings,
+            halted: true,
+        };
+    }
+
     // --- Final polish: the full evolution configuration with local
     //     search, run twice — once warm-started from the elite half of
-    //     the last round's population (the rounds' accumulated search
+    //     each island's final population (the rounds' accumulated search
     //     progress) and once from scratch (the converged elites can trap
     //     recombination in the rounds' local optimum; a fresh start is
     //     what the one-shot pipeline would do on the same corpus). The
     //     lexicographically better result wins, deterministically.
-    population.truncate(evo_config.population_size.div_ceil(2));
-    let warm = evolve_resumable(
+    let warm_seed: Vec<Vec<ThreeLevelMapping>> = islands_state
+        .into_iter()
+        .map(|isl| {
+            let mut pop = isl.population;
+            pop.truncate(evo_config.population_size.div_ceil(2));
+            pop
+        })
+        .collect();
+    let warm = evolve_islands(
         reps.len(),
         num_ports,
         &dense_measured,
         rep_indiv,
         evo_config,
-        population,
+        &islands_cfg,
+        IslandStart::Fresh(warm_seed),
         true,
+        None,
     );
-    let fresh = evolve_resumable(
+    let fresh = evolve_islands(
         reps.len(),
         num_ports,
         &dense_measured,
         rep_indiv,
         evo_config,
-        Vec::new(),
+        &islands_cfg,
+        IslandStart::Fresh(Vec::new()),
         true,
+        None,
     );
     let final_run = if fresh
         .result
@@ -340,6 +652,7 @@ pub fn run_adaptive(
         measured,
         rounds,
         round_mappings,
+        halted: false,
     }
 }
 
@@ -355,7 +668,7 @@ pub fn run_adaptive(
 fn disagreement_scores(
     pool: &[Experiment],
     to_dense: &dyn Fn(&Experiment) -> Experiment,
-    population: &[ThreeLevelMapping],
+    population: &[&ThreeLevelMapping],
     objectives: &[Objectives],
     ensemble: usize,
     solver: &mut ThroughputSolver,
@@ -382,7 +695,7 @@ fn disagreement_scores(
     let mut sums = vec![0.0f64; pool.len()];
     let mut squares = vec![0.0f64; pool.len()];
     for &member in &by_fitness {
-        solver.load_mapping(&compiled, &population[member]);
+        solver.load_mapping(&compiled, population[member]);
         for c in 0..pool.len() {
             let t = solver.predict(&compiled, c);
             sums[c] += t;

@@ -8,7 +8,11 @@
 //!   [--report report.json]` — run an inference session and write the
 //!   mapping (and optionally the full session report); `--format bin`
 //!   writes the compact binary artifact ([`MappingArtifact`]), which
-//!   embeds the platform's instruction-name table;
+//!   embeds the platform's instruction-name table; `--islands N` evolves
+//!   N subpopulations over one worker pool, `--checkpoint FILE` writes a
+//!   resumable evolution-state artifact every `--checkpoint-every`
+//!   generations, and `--resume` continues from it bit-identically
+//!   (flags not repeated are adopted from the artifact);
 //! * `show --platform SKL --mapping mapping.json [--limit 20]` — render
 //!   a mapping in uops.info-style notation;
 //! * `convert --in artifact --out artifact [--platform SKL]` — convert
@@ -43,10 +47,11 @@ use pmevo::core::{
     ThreeLevelMapping,
 };
 use pmevo::machine::{platforms, MeasureConfig, Measurer, Platform};
+use pmevo::core::{MeasurementBudget, SelectionPolicy};
 use pmevo::predict::{MappingId, MappingStore, Predictor, PredictorConfig};
 use pmevo::serve::flags::{byte_flag, flag, flag_all, num_flag, positive_flag};
 use pmevo::serve::{load_spec_artifact, route_line, store_from_specs};
-use pmevo::Session;
+use pmevo::{Session, SessionCheckpoint};
 use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
@@ -58,6 +63,12 @@ fn usage() -> ExitCode {
          pmevo-cli infer   --platform SKL [--population 300] [--generations N]\n\
                            [--algorithm pmevo] [--seed N] [--out mapping.json]\n\
                            [--format json|bin] [--report report.json]\n\
+                           [--islands N] [--selection one-shot|disagreement|uniform]\n\
+                           [--top-k N] [--budget MEASUREMENTS]\n\
+                           [--checkpoint FILE [--checkpoint-every GENS] [--resume]\n\
+                            [--halt-after-checkpoints N]]\n\
+                           (--resume continues from FILE bit-identically; flags\n\
+                            not repeated are adopted from the artifact)\n\
          pmevo-cli show    --platform SKL --mapping mapping.json [--limit 20]\n\
          pmevo-cli convert --in artifact --out artifact [--platform SKL]\n\
                            (JSON <-> compact binary; JSON to binary needs\n\
@@ -208,17 +219,86 @@ fn cmd_infer(args: &[String]) -> ExitCode {
         Ok(p) => p,
         Err(c) => return c,
     };
-    let population = match positive_parsed_flag(args, "--population", 300) {
+    let mut population = match positive_parsed_flag(args, "--population", 300) {
         Ok(v) => v,
         Err(c) => return c,
     };
-    let seed = match parsed_flag(args, "--seed", 0x90ADu64) {
+    let mut seed = match parsed_flag(args, "--seed", 0x90ADu64) {
         Ok(v) => v,
         Err(c) => return c,
     };
     let generations = match parsed_flag(args, "--generations", 0u32) {
         Ok(v) => v,
         Err(c) => return c,
+    };
+    let mut islands = match positive_parsed_flag(args, "--islands", 1) {
+        Ok(v) => v as u32,
+        Err(c) => return c,
+    };
+    let top_k = match positive_parsed_flag(args, "--top-k", 16) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let mut selection = match flag(args, "--selection").as_deref() {
+        None | Some("one-shot") => SelectionPolicy::OneShot,
+        Some("disagreement") => SelectionPolicy::Disagreement { top_k },
+        Some("uniform") => SelectionPolicy::Uniform { top_k },
+        Some(other) => {
+            eprintln!("unknown --selection {other}; expected one-shot, disagreement or uniform");
+            return ExitCode::from(2);
+        }
+    };
+    let mut budget = match parsed_flag(args, "--budget", 0u64) {
+        Ok(0) => MeasurementBudget::UNLIMITED,
+        Ok(n) => MeasurementBudget::measurements(n),
+        Err(c) => return c,
+    };
+    let checkpoint_path = flag(args, "--checkpoint");
+    let checkpoint_every = match parsed_flag(args, "--checkpoint-every", 8u32) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let halt_after = match parsed_flag(args, "--halt-after-checkpoints", 0u32) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let resume = args.iter().any(|a| a == "--resume");
+    // A resumed run adopts the artifact's header for every flag the user
+    // did not repeat, so `--checkpoint FILE --resume` alone continues a
+    // run bit-identically; explicitly conflicting flags are rejected by
+    // the session builder.
+    let snapshot = if resume {
+        let Some(path) = checkpoint_path.as_deref() else {
+            eprintln!("--resume needs --checkpoint FILE (the artifact to continue from)");
+            return ExitCode::from(2);
+        };
+        match SessionCheckpoint::load(std::path::Path::new(path)) {
+            Ok(snapshot) => {
+                let explicit = |name: &str| flag(args, name).is_some();
+                if !explicit("--seed") {
+                    seed = snapshot.seed;
+                }
+                if !explicit("--population") {
+                    population = snapshot.population_size as usize;
+                }
+                if !explicit("--islands") {
+                    islands = snapshot.islands;
+                }
+                if !explicit("--selection") {
+                    selection = snapshot.selection;
+                }
+                if !explicit("--budget") {
+                    budget = snapshot.budget;
+                }
+                Some(snapshot)
+            }
+            Err(e) => {
+                eprintln!("error: cannot resume: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
     };
     let format = flag(args, "--format").unwrap_or_else(|| "json".into());
     if format != "json" && format != "bin" {
@@ -233,6 +313,10 @@ fn cmd_infer(args: &[String]) -> ExitCode {
         platform.isa().forms().iter().map(|f| f.name.clone()).collect();
 
     let algorithm = flag(args, "--algorithm").unwrap_or_else(|| "pmevo".into());
+    if algorithm != "pmevo" && (checkpoint_path.is_some() || islands > 1) {
+        eprintln!("--islands and --checkpoint are only supported by the pmevo algorithm");
+        return ExitCode::from(2);
+    }
     eprintln!(
         "inferring port mapping for {} with {algorithm} (population {population}, seed {seed}) ...",
         platform.name()
@@ -240,9 +324,21 @@ fn cmd_infer(args: &[String]) -> ExitCode {
     let mut builder = Session::builder()
         .platform(platform)
         .seed(seed)
-        .population(population);
+        .population(population)
+        .islands(islands)
+        .selection(selection)
+        .budget(budget);
     if generations > 0 {
         builder = builder.max_generations(generations);
+    }
+    if let Some(path) = checkpoint_path {
+        builder = builder.checkpoint(path, checkpoint_every);
+    }
+    if let Some(snapshot) = snapshot {
+        builder = builder.resume_from(snapshot);
+    }
+    if halt_after > 0 {
+        builder = builder.halt_after_checkpoints(halt_after);
     }
     let builder = match algorithm.as_str() {
         "pmevo" => builder,

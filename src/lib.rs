@@ -51,6 +51,14 @@
 //! reports for every worker count. [`SessionReport::predictor`] hands
 //! the inferred mapping straight to the [`predict`] serving layer for
 //! high-QPS basic-block throughput queries.
+//!
+//! Long runs can evolve several subpopulations concurrently
+//! ([`SessionBuilder::islands`]) and survive interruption: with
+//! [`SessionBuilder::checkpoint`] the full evolution state is written
+//! atomically as a versioned JSON artifact, and a session rebuilt with
+//! [`SessionBuilder::resume_from`] ([`SessionCheckpoint::load`])
+//! continues to a report bit-identical to the uninterrupted run's —
+//! timings aside — without re-measuring anything.
 
 pub mod session;
 
@@ -65,6 +73,7 @@ pub use pmevo_serve as serve;
 pub use pmevo_stats as stats;
 pub use pmevo_x86 as x86;
 
+pub use pmevo_core::checkpoint::{CheckpointError, SessionCheckpoint};
 pub use session::{
     AccuracyReport, BoxedAlgorithm, BoxedBackend, ReportJsonError, Service, Session,
     SessionBuilder, SessionError, SessionReport,

@@ -34,18 +34,20 @@
 //! except wall-clock timings is bit-identical for every worker-thread
 //! count (see [`SessionReport::without_timings`]).
 
+use pmevo_core::checkpoint::SessionCheckpoint;
 use pmevo_core::json::{self, Value};
 use pmevo_core::{
     CachingBackend, Experiment, InferenceAlgorithm, InstId, MeasurementBackend,
     MeasurementBudget, RoundStats, SelectionPolicy, ThreeLevelMapping,
 };
-use pmevo_evo::PmEvoAlgorithm;
+use pmevo_evo::{CheckpointConfig, PmEvoAlgorithm};
 use pmevo_machine::{MeasureConfig, Platform, SimBackend};
 use pmevo_stats::AccuracySummary;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::mpsc::channel;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -68,6 +70,13 @@ pub enum SessionError {
     /// The configured universe is degenerate (no instructions or no
     /// ports).
     EmptyUniverse,
+    /// [`SessionBuilder::resume_from`] without
+    /// [`SessionBuilder::checkpoint`]: the continued run needs a path to
+    /// keep checkpointing to.
+    ResumeWithoutCheckpoint,
+    /// The resume snapshot's header disagrees with the session
+    /// configuration (the message names the mismatched field).
+    CheckpointMismatch(String),
 }
 
 impl fmt::Display for SessionError {
@@ -81,6 +90,12 @@ impl fmt::Display for SessionError {
             }
             SessionError::EmptyUniverse => {
                 write!(f, "session universe must have at least one instruction and one port")
+            }
+            SessionError::ResumeWithoutCheckpoint => {
+                write!(f, "resuming needs .checkpoint(path, every) so the continued run keeps checkpointing")
+            }
+            SessionError::CheckpointMismatch(what) => {
+                write!(f, "checkpoint does not match this session: {what}")
             }
         }
     }
@@ -111,6 +126,10 @@ pub struct SessionBuilder {
     budget: MeasurementBudget,
     accuracy_benchmarks: usize,
     benchmark_size: u32,
+    islands: u32,
+    checkpoint: Option<(PathBuf, u32)>,
+    resume_from: Option<Box<SessionCheckpoint>>,
+    halt_after_checkpoints: Option<u32>,
 }
 
 impl Default for SessionBuilder {
@@ -130,6 +149,10 @@ impl Default for SessionBuilder {
             budget: MeasurementBudget::UNLIMITED,
             accuracy_benchmarks: 128,
             benchmark_size: 5,
+            islands: 1,
+            checkpoint: None,
+            resume_from: None,
+            halt_after_checkpoints: None,
         }
     }
 }
@@ -240,6 +263,53 @@ impl SessionBuilder {
         self
     }
 
+    /// Number of concurrently evolving subpopulations for the default
+    /// PMEvo algorithm (default: 1, the paper's classic loop, bit for
+    /// bit). Islands share one worker pool and exchange their best
+    /// individuals over a fixed ring on a deterministic schedule, so
+    /// results are bit-identical for every worker count. Ignored when an
+    /// explicit algorithm is set.
+    #[must_use]
+    pub fn islands(mut self, count: u32) -> Self {
+        self.islands = count.max(1);
+        self
+    }
+
+    /// Checkpoint the full evolution state to `path` every `every`
+    /// generations (plus at every phase boundary). The artifact is
+    /// written atomically and a run resumed from it via
+    /// [`resume_from`](Self::resume_from) is bit-identical to the
+    /// uninterrupted one, up to wall-clock timings. Ignored when an
+    /// explicit algorithm is set.
+    #[must_use]
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every: u32) -> Self {
+        self.checkpoint = Some((path.into(), every));
+        self
+    }
+
+    /// Continue from a checkpoint previously written by
+    /// [`checkpoint`](Self::checkpoint) (load it with
+    /// [`SessionCheckpoint::load`]). Requires a checkpoint path so the
+    /// continued run keeps checkpointing; when
+    /// [`population`](Self::population) is unset it is adopted from the
+    /// snapshot. [`build`](Self::build) rejects snapshots whose header
+    /// (universe, seed, islands, selection, budget) disagrees with the
+    /// session configuration.
+    #[must_use]
+    pub fn resume_from(mut self, snapshot: SessionCheckpoint) -> Self {
+        self.resume_from = Some(Box::new(snapshot));
+        self
+    }
+
+    /// Stop the run right after this many checkpoint writes — a
+    /// deterministic stand-in for killing the process, used by the
+    /// resume tests and `pmevo-cli infer --halt-after-checkpoints`.
+    #[must_use]
+    pub fn halt_after_checkpoints(mut self, count: u32) -> Self {
+        self.halt_after_checkpoints = Some(count);
+        self
+    }
+
     /// Number of held-out benchmarks for the ground-truth accuracy
     /// report (0 disables it; it is also skipped without a platform).
     #[must_use]
@@ -269,6 +339,43 @@ impl SessionBuilder {
         if num_insts == 0 || num_ports == 0 {
             return Err(SessionError::EmptyUniverse);
         }
+        if let Some(cp) = &self.resume_from {
+            if self.checkpoint.is_none() {
+                return Err(SessionError::ResumeWithoutCheckpoint);
+            }
+            let mismatch = |what: String| Err(SessionError::CheckpointMismatch(what));
+            if (cp.num_insts, cp.num_ports) != (num_insts, num_ports) {
+                return mismatch(format!(
+                    "checkpointed universe is {}x{}, the session's is {num_insts}x{num_ports}",
+                    cp.num_insts, cp.num_ports
+                ));
+            }
+            if cp.seed != self.seed {
+                return mismatch(format!(
+                    "checkpointed seed is {}, the session's is {}",
+                    cp.seed, self.seed
+                ));
+            }
+            if cp.islands != self.islands {
+                return mismatch(format!(
+                    "checkpointed island count is {}, the session's is {}",
+                    cp.islands, self.islands
+                ));
+            }
+            if self.population.is_some_and(|p| cp.population_size != p as u64) {
+                return mismatch(format!(
+                    "checkpointed population size is {}, the session's is {}",
+                    cp.population_size,
+                    self.population.unwrap_or(0)
+                ));
+            }
+            if cp.selection != self.selection {
+                return mismatch("the selection policies differ".into());
+            }
+            if cp.budget != self.budget {
+                return mismatch("the measurement budgets differ".into());
+            }
+        }
         let backend: BoxedBackend = match (self.backend, &self.platform) {
             (Some(b), _) => b,
             (None, Some(p)) => Box::new(SimBackend::new(p.clone(), self.measure_config)),
@@ -286,9 +393,22 @@ impl SessionBuilder {
                     PmEvoAlgorithm::with_selection(self.seed, self.selection, self.budget);
                 if let Some(p) = self.population {
                     pmevo.config.evo.population_size = p;
+                } else if let Some(cp) = &self.resume_from {
+                    // The artifact pins the population size of a resumed
+                    // run when the session does not.
+                    pmevo.config.evo.population_size = cp.population_size as usize;
                 }
                 if let Some(g) = self.max_generations {
                     pmevo.config.evo.max_generations = g;
+                }
+                pmevo.config.islands.count = self.islands;
+                if let Some((path, every)) = self.checkpoint {
+                    pmevo.config.checkpoint = Some(CheckpointConfig {
+                        path,
+                        every,
+                        resume_from: self.resume_from,
+                        halt_after: self.halt_after_checkpoints,
+                    });
                 }
                 Box::new(pmevo)
             }
@@ -876,9 +996,14 @@ impl fmt::Display for SessionReport {
 /// `available_parallelism / workers` (via
 /// [`Session::set_worker_threads`]), so a single job still uses the
 /// whole machine while many concurrent jobs never oversubscribe it.
+/// Island-model sessions ([`SessionBuilder::islands`]) need no special
+/// treatment: a session's islands evolve over its own share of the pool
+/// (every generation's candidates across all islands are evaluated as
+/// one batch), so islands and sessions schedule over the same workers.
 /// Because inference is thread-count-independent by contract, the
 /// reports are bit-identical — up to wall-clock timings, see
-/// [`SessionReport::without_timings`] — for every worker count.
+/// [`SessionReport::without_timings`] — for every worker count and
+/// island schedule.
 ///
 /// # Example
 ///

@@ -258,3 +258,110 @@ fn experiment_mode_suggests_nearest_form() {
         "{stderr}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume error paths: a corrupted, truncated, missing or
+// mismatched artifact must produce a positioned error, never a panic.
+
+/// The committed known-good v1 checkpoint artifact.
+fn golden_checkpoint() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/checkpoint_v1.json"
+    ))
+    .expect("golden checkpoint fixture present")
+}
+
+#[test]
+fn resume_without_checkpoint_flag_is_a_usage_error() {
+    let out = run(&["infer", "--platform", "TINY", "--resume"]);
+    assert_corpus_error(&out, "--resume needs --checkpoint FILE");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn truncated_checkpoint_reports_the_byte_position() {
+    let golden = golden_checkpoint();
+    let truncated = scratch("ck_truncated.json", &golden[..golden.len() / 2]);
+    let out = run(&[
+        "infer", "--platform", "TINY",
+        "--checkpoint", truncated.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert_corpus_error(&out, "error: cannot resume:");
+    assert_corpus_error(&out, "at byte");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn corrupted_checkpoint_is_rejected_without_panicking() {
+    let garbage = scratch("ck_garbage.json", "this is not a checkpoint");
+    let out = run(&[
+        "infer", "--platform", "TINY",
+        "--checkpoint", garbage.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert_corpus_error(&out, "error: cannot resume:");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn future_checkpoint_version_is_named_in_the_error() {
+    let from_the_future = golden_checkpoint().replace("\"version\":1,", "\"version\":99,");
+    let path = scratch("ck_v99.json", &from_the_future);
+    let out = run(&[
+        "infer", "--platform", "TINY",
+        "--checkpoint", path.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert_corpus_error(&out, "unsupported checkpoint version 99");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn missing_checkpoint_file_names_the_path() {
+    let out = run(&[
+        "infer", "--platform", "TINY",
+        "--checkpoint", "/definitely/not/here/ck.json",
+        "--resume",
+    ]);
+    assert_corpus_error(&out, "checkpoint I/O error on /definitely/not/here/ck.json");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn checkpoint_for_another_platform_is_a_header_mismatch() {
+    // The golden artifact records the 6-form TINY universe; resuming it
+    // into an SKL session must name the universe mismatch.
+    let path = scratch("ck_tiny.json", &golden_checkpoint());
+    let out = run(&[
+        "infer", "--platform", "SKL",
+        "--checkpoint", path.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert_corpus_error(&out, "checkpoint does not match this session:");
+    assert_corpus_error(&out, "checkpointed universe is 6x4");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn conflicting_seed_on_resume_is_a_header_mismatch() {
+    // Flags not repeated on resume are adopted from the artifact, but an
+    // explicitly conflicting one is an error, not a silent divergence.
+    let path = scratch("ck_seed.json", &golden_checkpoint());
+    let out = run(&[
+        "infer", "--platform", "TINY",
+        "--checkpoint", path.to_str().unwrap(),
+        "--resume",
+        "--seed", "1",
+    ]);
+    assert_corpus_error(&out, "checkpoint does not match this session:");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn islands_and_checkpoint_require_the_pmevo_algorithm() {
+    let out = run(&["infer", "--platform", "TINY", "--algorithm", "counting", "--islands", "2"]);
+    assert_corpus_error(&out, "--islands and --checkpoint are only supported by the pmevo algorithm");
+    assert_eq!(out.status.code(), Some(2));
+}

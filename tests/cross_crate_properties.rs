@@ -108,3 +108,119 @@ fn oracle_outranks_mca_on_zen() {
         experiments.len()
     );
 }
+
+// ---------------------------------------------------------------------------
+// Island-model evolution: a single island is the classic loop, and any
+// island count is invariant under the fitness-worker count.
+
+use pmevo::core::{MeasuredExperiment, PortSet, ThreeLevelMapping, UopEntry};
+use pmevo::evo::{evolve_islands, evolve_resumable, EvoConfig, IslandConfig, IslandStart};
+
+/// A deterministic toy ground truth plus training set (all singletons
+/// and pairs), parameterized by `seed` with plain arithmetic — every
+/// proptest case sees a different machine, with no RNG involved.
+fn toy_training(
+    seed: u64,
+    num_insts: usize,
+    num_ports: usize,
+) -> (Vec<MeasuredExperiment>, Vec<f64>) {
+    let decomp = (0..num_insts)
+        .map(|i| {
+            let a = (seed as usize + i) % num_ports;
+            let b = (seed as usize / 3 + 2 * i + 1) % num_ports;
+            vec![UopEntry::new(
+                1 + (i as u32 + seed as u32) % 2,
+                PortSet::from_ports(&[a, b]),
+            )]
+        })
+        .collect();
+    let ground_truth = ThreeLevelMapping::new(num_ports, decomp);
+    let mut measured = Vec::new();
+    let mut indiv = Vec::new();
+    for i in 0..num_insts as u32 {
+        let e = Experiment::singleton(InstId(i));
+        let t = ground_truth.throughput(&e);
+        indiv.push(t);
+        measured.push(MeasuredExperiment::new(e, t));
+    }
+    for i in 0..num_insts as u32 {
+        for j in i + 1..num_insts as u32 {
+            let e = Experiment::pair(InstId(i), 1, InstId(j), 1);
+            let t = ground_truth.throughput(&e);
+            measured.push(MeasuredExperiment::new(e, t));
+        }
+    }
+    (measured, indiv)
+}
+
+fn evo_config(seed: u64, population: usize, threads: usize) -> EvoConfig {
+    EvoConfig {
+        population_size: population,
+        max_generations: 8,
+        stall_generations: 8,
+        num_threads: threads,
+        seed,
+        ..EvoConfig::default()
+    }
+}
+
+proptest! {
+    // Each case runs several full evolutions; keep the budget small
+    // (PROPTEST_CASES only caps this downward).
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A single island IS the classic loop: `evolve_islands` with
+    /// `count = 1` reproduces `evolve_resumable` bit-for-bit — same
+    /// winner, same objectives, same history, same final population.
+    #[test]
+    fn one_island_is_the_classic_loop(seed in 0u64..10_000, pop in 8usize..20) {
+        let (training, indiv) = toy_training(seed, 5, 3);
+        let config = evo_config(seed, pop, 2);
+        let classic = evolve_resumable(5, 3, &training, &indiv, &config, Vec::new(), true);
+        let islands = evolve_islands(
+            5, 3, &training, &indiv, &config,
+            &IslandConfig::default(),
+            IslandStart::Fresh(Vec::new()), true, None,
+        );
+        prop_assert!(!islands.halted);
+        prop_assert_eq!(islands.islands.len(), 1);
+        prop_assert_eq!(&islands.result.mapping, &classic.result.mapping);
+        prop_assert_eq!(islands.result.objectives, classic.result.objectives);
+        prop_assert_eq!(&islands.result.history, &classic.result.history);
+        prop_assert_eq!(&islands.islands[0].population, &classic.population);
+    }
+
+    /// For any island count, evolution is independent of the
+    /// fitness-worker count: 1, 2 and 8 threads produce bit-identical
+    /// winners, histories and final island populations.
+    #[test]
+    fn island_evolution_is_worker_count_invariant(
+        seed in 0u64..10_000,
+        islands in 1u32..5,
+    ) {
+        let (training, indiv) = toy_training(seed, 5, 3);
+        let island_config = IslandConfig { count: islands, interval: 2, migrants: 1 };
+        let run = |threads: usize| {
+            evolve_islands(
+                5, 3, &training, &indiv,
+                &evo_config(seed, 12, threads),
+                &island_config,
+                IslandStart::Fresh(Vec::new()), true, None,
+            )
+        };
+        let reference = run(1);
+        for threads in [2usize, 8] {
+            let out = run(threads);
+            prop_assert_eq!(&out.result.mapping, &reference.result.mapping, "threads {}", threads);
+            prop_assert_eq!(&out.result.history, &reference.result.history, "threads {}", threads);
+            prop_assert_eq!(out.islands.len(), reference.islands.len());
+            for (ours, reference_island) in out.islands.iter().zip(&reference.islands) {
+                prop_assert_eq!(
+                    &ours.population,
+                    &reference_island.population,
+                    "threads {}", threads
+                );
+            }
+        }
+    }
+}
